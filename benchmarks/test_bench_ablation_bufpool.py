@@ -1,0 +1,77 @@
+"""Ablation — buffer-pool and chunk-size sensitivity (Sec. IV-A).
+
+The paper fixes a 10 MB pool with 1 MB chunks and reports that
+"the process-migration overhead does not vary significantly as buffer pool
+size changes, because it is dominated by Phase 3".  This bench sweeps both
+knobs and verifies (a) Phase-2 insensitivity once the pool holds a few
+chunks, and (b) total-cycle insensitivity, which is the paper's actual
+claim.
+"""
+
+import pytest
+
+from repro import MigrationParams, MigrationPhase, Scenario, MB
+from repro.analysis import render_table
+
+POOLS_MB = [2, 5, 10, 20, 40]
+CHUNKS_KB = [256, 512, 1024, 2048, 4096]
+
+
+def one(pool_mb: float, chunk_kb: int):
+    params = MigrationParams(buffer_pool_size=int(pool_mb * MB),
+                             chunk_size=int(chunk_kb * 1000))
+    scenario = Scenario.build(app="LU.C", nprocs=64, n_compute=8, n_spare=1,
+                              iterations=40, migration_params=params)
+    return scenario.run_migration("node3", at=5.0)
+
+
+@pytest.fixture(scope="module")
+def pool_sweep():
+    return {p: one(p, 1000) for p in POOLS_MB}
+
+
+@pytest.fixture(scope="module")
+def chunk_sweep():
+    return {c: one(10, c) for c in CHUNKS_KB}
+
+
+def test_bench_pool_size_insensitive(benchmark, pool_sweep):
+    benchmark.pedantic(one, args=(10, 1000), rounds=1, iterations=1)
+
+    rows = {
+        f"pool {p} MB": {
+            "Phase 2 (s)": r.phase_seconds[MigrationPhase.MIGRATION],
+            "Total (s)": r.total_seconds,
+            "chunks": r.chunks_transferred,
+        }
+        for p, r in pool_sweep.items()
+    }
+    print()
+    print(render_table("Ablation — buffer pool size (LU.C.64, 1 MB chunks)",
+                       rows))
+    totals = [r.total_seconds for r in pool_sweep.values()]
+    # Total cycle varies < 10 % across a 20x pool-size range.
+    assert (max(totals) - min(totals)) / min(totals) < 0.10
+    # Phase 2 itself varies < 50 % once the pool holds >= 2 chunks.
+    p2 = [r.phase_seconds[MigrationPhase.MIGRATION]
+          for r in pool_sweep.values()]
+    assert (max(p2) - min(p2)) / min(p2) < 0.5
+
+
+def test_bench_chunk_size_insensitive(chunk_sweep):
+    rows = {
+        f"chunk {c} KB": {
+            "Phase 2 (s)": r.phase_seconds[MigrationPhase.MIGRATION],
+            "Total (s)": r.total_seconds,
+            "chunks": r.chunks_transferred,
+        }
+        for c, r in chunk_sweep.items()
+    }
+    print()
+    print(render_table("Ablation — chunk size (LU.C.64, 10 MB pool)", rows))
+    totals = [r.total_seconds for r in chunk_sweep.values()]
+    assert (max(totals) - min(totals)) / min(totals) < 0.10
+    # Smaller chunks mean more request/reply overhead: weakly monotone.
+    p2 = {c: r.phase_seconds[MigrationPhase.MIGRATION]
+          for c, r in chunk_sweep.items()}
+    assert p2[256] >= p2[4096] * 0.95

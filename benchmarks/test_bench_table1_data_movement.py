@@ -1,0 +1,61 @@
+"""Table I — Amount of Data Movement (MB).
+
+Byte-accounted, not estimated: the migration column counts what the RDMA
+session actually pulled; the CR column counts what the checkpoint sinks
+actually wrote.  These must match the paper's table *exactly* because the
+image-size model was fitted to it — this bench is the closing of that loop.
+"""
+
+import pytest
+
+from repro import Scenario
+from repro.analysis import render_table
+
+from .paper_reference import TABLE1_MB
+
+APPS = ["LU.C", "BT.C", "SP.C"]
+
+
+def measure(app: str):
+    mig_sc = Scenario.build(app=app, nprocs=64, n_compute=8, n_spare=1,
+                            iterations=40)
+    migration = mig_sc.run_migration("node3", at=5.0)
+
+    cr_sc = Scenario.build(app=app, nprocs=64, n_compute=8, n_spare=1,
+                           iterations=40)
+    strategy = cr_sc.cr_strategy("ext3")
+
+    def drive(sim):
+        yield sim.timeout(5.0)
+        return (yield from strategy.checkpoint())
+
+    proc = cr_sc.sim.spawn(drive(cr_sc.sim))
+    ckpt = cr_sc.sim.run(until=proc)
+    return migration.bytes_migrated / 1e6, ckpt.bytes_written / 1e6
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {app: measure(app) for app in APPS}
+
+
+def test_bench_table1(benchmark, results):
+    benchmark.pedantic(measure, args=("LU.C",), rounds=1, iterations=1)
+
+    rows = {}
+    for app, (mig_mb, cr_mb) in results.items():
+        rows[f"{app}.64"] = {
+            "Job Migration (MB)": mig_mb,
+            "paper": TABLE1_MB[app]["migration"],
+            "CR (MB)": cr_mb,
+            "paper CR": TABLE1_MB[app]["cr"],
+        }
+    print()
+    print(render_table("Table I — amount of data movement", rows, unit="MB",
+                       digits=1))
+
+    for app, (mig_mb, cr_mb) in results.items():
+        assert mig_mb == pytest.approx(TABLE1_MB[app]["migration"], rel=1e-3), app
+        assert cr_mb == pytest.approx(TABLE1_MB[app]["cr"], rel=1e-3), app
+        # CR dumps 8x the data (64 ranks vs the 8 on the failing node).
+        assert cr_mb / mig_mb == pytest.approx(8.0, rel=1e-3), app

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments whose tooling predates PEP 660
+editable wheels (e.g. offline clusters without the ``wheel`` package, where
+``pip install -e . --no-build-isolation`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Analysis layer: metric extraction and paper-shaped table rendering."""
+
+from .availability import (
+    PolicyOutcome,
+    daly_interval,
+    effective_mtbf,
+    expected_waste_fraction,
+    simulate_policy,
+)
+from .metrics import (
+    cr_cycle_breakdown,
+    data_movement,
+    migration_cycle_breakdown,
+    migration_phase_breakdown,
+    speedup,
+)
+from .report import fmt_seconds, render_stacked, render_table
+from .timeline import PhaseInterval, extract_phases, render_timeline
+
+__all__ = [
+    "migration_phase_breakdown",
+    "migration_cycle_breakdown",
+    "cr_cycle_breakdown",
+    "speedup",
+    "data_movement",
+    "render_table",
+    "render_stacked",
+    "fmt_seconds",
+    "daly_interval",
+    "effective_mtbf",
+    "expected_waste_fraction",
+    "simulate_policy",
+    "PolicyOutcome",
+    "PhaseInterval",
+    "extract_phases",
+    "render_timeline",
+]

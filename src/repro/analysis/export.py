@@ -1,0 +1,88 @@
+"""Result export: CSV/JSON serialization of reports for external plotting.
+
+The benchmark harness prints paper-shaped ASCII; anyone regenerating the
+actual figures (matplotlib, gnuplot, a notebook) wants machine-readable
+rows instead.  These helpers flatten the report dataclasses losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..core.protocol import (
+    CheckpointReport,
+    MigrationPhase,
+    MigrationReport,
+    RestartReport,
+)
+
+__all__ = ["migration_report_dict", "checkpoint_report_dict",
+           "reports_to_json", "rows_to_csv"]
+
+
+def migration_report_dict(report: MigrationReport) -> Dict[str, Any]:
+    """Flat dict of one migration report (JSON/CSV friendly)."""
+    out: Dict[str, Any] = {
+        "kind": "migration",
+        "source": report.source,
+        "target": report.target,
+        "reason": report.reason,
+        "transport": report.transport,
+        "restart_mode": report.restart_mode,
+        "started_at_s": report.started_at,
+        "total_s": report.total_seconds,
+        "bytes_migrated": report.bytes_migrated,
+        "chunks": report.chunks_transferred,
+        "ranks_migrated": list(report.ranks_migrated),
+    }
+    for phase in MigrationPhase:
+        key = phase.name.lower() + "_s"
+        out[key] = report.phase_seconds.get(phase, 0.0)
+    return out
+
+
+def checkpoint_report_dict(ckpt: CheckpointReport,
+                           restart: Optional[RestartReport] = None
+                           ) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "kind": "checkpoint",
+        "destination": ckpt.destination,
+        "started_at_s": ckpt.started_at,
+        "stall_s": ckpt.stall_seconds,
+        "checkpoint_s": ckpt.checkpoint_seconds,
+        "resume_s": ckpt.resume_seconds,
+        "total_s": ckpt.total_seconds,
+        "bytes_written": ckpt.bytes_written,
+        "n_ranks": ckpt.n_ranks,
+    }
+    if restart is not None:
+        out["restart_s"] = restart.restart_seconds
+        out["bytes_read"] = restart.bytes_read
+        out["cycle_s"] = ckpt.total_seconds + restart.restart_seconds
+    return out
+
+
+def reports_to_json(rows: Iterable[Mapping[str, Any]], indent: int = 2) -> str:
+    """Serialize flattened report rows as a JSON array."""
+    return json.dumps(list(rows), indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: List[Mapping[str, Any]]) -> str:
+    """Serialize flattened rows as CSV (union of columns, sorted header).
+
+    List-valued cells are JSON-encoded so the CSV stays one row per report.
+    """
+    if not rows:
+        return ""
+    columns: List[str] = sorted({k for row in rows for k in row})
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        flat = {k: (json.dumps(v) if isinstance(v, (list, dict)) else v)
+                for k, v in row.items()}
+        writer.writerow(flat)
+    return buf.getvalue()

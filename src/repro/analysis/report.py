@@ -1,0 +1,75 @@
+"""Plain-text table rendering in the shape of the paper's figures/tables.
+
+The benchmark harness prints these so a run's output can be laid side by
+side with the paper's Figures 4-7 and Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_stacked", "fmt_seconds"]
+
+
+def fmt_seconds(value: float) -> str:
+    return f"{value * 1000:,.0f} ms" if value < 1 else f"{value:,.2f} s"
+
+
+def render_table(title: str, rows: Mapping[str, Mapping[str, float]],
+                 unit: str = "s", digits: int = 3) -> str:
+    """Rows keyed by label, each a {column: value} mapping (shared columns).
+
+    >>> print(render_table("T", {"a": {"x": 1.0}}))  # doctest: +SKIP
+    """
+    labels = list(rows)
+    if not labels:
+        return f"== {title} ==\n(no data)"
+    columns: List[str] = []
+    for r in rows.values():
+        for c in r:
+            if c not in columns:
+                columns.append(c)
+    widths = {c: max(len(c), digits + 6) for c in columns}
+    label_w = max(len(l) for l in labels + [title])
+    out = [f"== {title} (values in {unit}) =="]
+    header = " " * label_w + " | " + " | ".join(c.rjust(widths[c]) for c in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for label in labels:
+        cells = []
+        for c in columns:
+            v = rows[label].get(c)
+            cells.append((f"{v:.{digits}f}" if v is not None else "-").rjust(widths[c]))
+        out.append(label.ljust(label_w) + " | " + " | ".join(cells))
+    return "\n".join(out)
+
+
+def render_stacked(title: str, stacks: Mapping[str, Mapping[str, float]],
+                   width: int = 50) -> str:
+    """ASCII stacked bars (one per label), mirroring Figures 4/6/7."""
+    if not stacks:
+        return f"== {title} ==\n(no data)"
+    total_max = max(sum(parts.values()) for parts in stacks.values())
+    if total_max <= 0:
+        total_max = 1.0
+    glyphs = "#=+*o.~%"
+    segments: List[str] = []
+    for parts in stacks.values():
+        for name in parts:
+            if name not in segments:
+                segments.append(name)
+    out = [f"== {title} =="]
+    label_w = max(len(l) for l in stacks)
+    for label, parts in stacks.items():
+        bar = ""
+        for i, seg in enumerate(segments):
+            v = parts.get(seg, 0.0)
+            n = int(round(width * v / total_max))
+            bar += glyphs[i % len(glyphs)] * n
+        total = sum(parts.values())
+        out.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                   f"{fmt_seconds(total)}")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]}={seg}"
+                        for i, seg in enumerate(segments))
+    out.append(f"legend: {legend}")
+    return "\n".join(out)

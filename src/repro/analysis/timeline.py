@@ -1,0 +1,74 @@
+"""Timeline extraction from a simulation trace.
+
+Turns the ``phase.start``/``phase.end`` records that the migration
+framework writes into a :class:`Tracer` into ordered intervals, and renders
+them as an ASCII Gantt chart — useful for eyeballing where a cycle's time
+actually went and for regression checks on phase boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..simulate.trace import Tracer
+
+__all__ = ["PhaseInterval", "extract_phases", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """One [start, end] span of a named phase."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def extract_phases(trace: Tracer) -> List[PhaseInterval]:
+    """Pair up phase.start / phase.end records, in start order.
+
+    Raises if the trace is inconsistent (an end without a start, or a phase
+    left open) — that would indicate a framework bug, not a data problem.
+    """
+    open_phases: Dict[str, float] = {}
+    intervals: List[PhaseInterval] = []
+    for rec in trace.records:
+        if rec.kind == "phase.start":
+            name = rec["phase"]
+            if name in open_phases:
+                raise ValueError(f"phase {name!r} started twice without end")
+            open_phases[name] = rec.time
+        elif rec.kind == "phase.end":
+            name = rec["phase"]
+            if name not in open_phases:
+                raise ValueError(f"phase {name!r} ended without start")
+            intervals.append(PhaseInterval(name, open_phases.pop(name),
+                                           rec.time))
+    if open_phases:
+        raise ValueError(f"phases never ended: {sorted(open_phases)}")
+    intervals.sort(key=lambda iv: iv.start)
+    return intervals
+
+
+def render_timeline(intervals: List[PhaseInterval], width: int = 60,
+                    title: str = "timeline") -> str:
+    """ASCII Gantt chart of the intervals."""
+    if not intervals:
+        return f"== {title} ==\n(no phases)"
+    t0 = min(iv.start for iv in intervals)
+    t1 = max(iv.end for iv in intervals)
+    span = max(t1 - t0, 1e-12)
+    label_w = max(len(iv.name) for iv in intervals)
+    out = [f"== {title} ({t0:.3f}s .. {t1:.3f}s) =="]
+    for iv in intervals:
+        lead = int(round(width * (iv.start - t0) / span))
+        body = max(1, int(round(width * iv.duration / span)))
+        bar = " " * lead + "#" * body
+        out.append(f"{iv.name.ljust(label_w)} |{bar[:width].ljust(width)}| "
+                   f"{iv.duration:.3f}s")
+    return "\n".join(out)

@@ -1,0 +1,20 @@
+"""Berkeley Lab Checkpoint/Restart (BLCR) model with the paper's extensions.
+
+Checkpoint streams flow through pluggable sinks — the seam where the paper
+interposes its buffer-pool aggregation — and restarts come in the stock
+file-based flavour plus the memory-based extension from Sec. VI.
+"""
+
+from .checkpoint import CheckpointEngine, CheckpointSink, FileSink, MemorySink
+from .image import CheckpointImage
+from .restart import RestartEngine, RestartError
+
+__all__ = [
+    "CheckpointImage",
+    "CheckpointEngine",
+    "CheckpointSink",
+    "FileSink",
+    "MemorySink",
+    "RestartEngine",
+    "RestartError",
+]

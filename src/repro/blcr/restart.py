@@ -1,0 +1,112 @@
+"""BLCR restart engines: file-based (the paper's Phase 3) and memory-based
+(the paper's future-work extension, implemented here).
+
+File-based restart is what dominates the migration cost in Figures 4 and 6:
+the target node rebuilds each process by cold-reading its reassembled
+checkpoint file.  Memory-based restart skips the filesystem entirely and
+restores straight from the buffer pool at memcpy speed — the ablation bench
+``bench_ablation_restart`` quantifies exactly how much of Phase 3 that
+recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..params import BLCRParams
+from ..simulate.core import Simulator
+from ..cluster.osproc import OSProcess
+from .image import CheckpointImage
+
+__all__ = ["RestartEngine", "RestartError"]
+
+
+class RestartError(Exception):
+    """Image missing, truncated or corrupt at restart time."""
+
+
+class RestartEngine:
+    """Restarts processes on one node."""
+
+    def __init__(self, sim: Simulator, node_name: str,
+                 params: Optional[BLCRParams] = None):
+        self.sim = sim
+        self.node_name = node_name
+        self.params = params or BLCRParams()
+
+    def _read_image(self, fs, path: str, metadata: CheckpointImage,
+                    client: Optional[str], chunk_bytes: int) -> Generator:
+        """Generator: cold-read one checkpoint file; returns its image."""
+        if not fs.exists(path):
+            raise RestartError(f"checkpoint file {path!r} missing on "
+                               f"{self.node_name}")
+        if client is not None:
+            handle = yield from fs.open(path, client)
+        else:
+            handle = yield from fs.open(path)
+        size = handle.file.size
+        if size != metadata.nbytes:
+            raise RestartError(
+                f"{path!r} truncated: {size} bytes, header says "
+                f"{metadata.nbytes}")
+        collected = [] if handle.file.data is not None else None
+        offset = 0
+        while offset < size:
+            n = min(chunk_bytes, size - offset)
+            data = yield from fs.read(handle, nbytes=n)
+            if collected is not None:
+                collected.append(data)
+            offset += n
+        yield from fs.close(handle)
+        if collected is None:
+            return metadata
+        payload = b"".join(c.tobytes() for c in collected)
+        return CheckpointImage(metadata.proc_name, metadata.origin_node,
+                               metadata.layout, metadata.app_state, payload)
+
+    def restart_from_file(self, fs, path: str,
+                          metadata: Optional[CheckpointImage] = None,
+                          client: Optional[str] = None,
+                          chunk_bytes: int = 4 << 20) -> Generator:
+        """Generator: rebuild a process from a checkpoint file.
+
+        ``metadata`` supplies the image header when the filesystem is in
+        sized-only mode (no recorded bytes); with recorded bytes the payload
+        read back from the file is verified against the header layout.
+        Returns the restarted :class:`OSProcess`.
+        """
+        if metadata is None:
+            raise RestartError(f"no image header available for {path!r}")
+        yield self.sim.timeout(self.params.restart_proc_overhead)
+        image = yield from self._read_image(fs, path, metadata, client,
+                                            chunk_bytes)
+        return image.materialize(self.node_name)
+
+    def restart_from_chain(self, fs, chain, client: Optional[str] = None,
+                           chunk_bytes: int = 4 << 20) -> Generator:
+        """Generator: rebuild from an incremental chain — a full image
+        followed by deltas, each ``(path, metadata)`` — folding in order.
+
+        Every file in the chain is read (and paid for); this is the cost
+        trade incremental checkpointing makes at restart time.
+        """
+        if not chain:
+            raise RestartError("empty checkpoint chain")
+        yield self.sim.timeout(self.params.restart_proc_overhead)
+        path0, meta0 = chain[0]
+        folded = yield from self._read_image(fs, path0, meta0, client,
+                                             chunk_bytes)
+        for path, meta in chain[1:]:
+            delta = yield from self._read_image(fs, path, meta, client,
+                                                chunk_bytes)
+            folded = CheckpointImage.merge(folded, delta)
+        return folded.materialize(self.node_name)
+
+    def restart_from_memory(self, image: CheckpointImage) -> Generator:
+        """Generator: restore directly from a resident image (future work
+        Sec. VI): address-space rebuild at memcpy speed, no file I/O."""
+        yield self.sim.timeout(self.params.restart_proc_overhead)
+        yield self.sim.timeout(image.nbytes / self.params.memory_restart_bandwidth)
+        return image.materialize(self.node_name)

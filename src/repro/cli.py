@@ -1,0 +1,172 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro migrate   --app LU.C --source node3
+    python -m repro compare   --app BT.C
+    python -m repro scale     --ppn 1 2 4 8
+    python -m repro interval  --mtbf-hours 6 --coverage 0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import (
+    cr_cycle_breakdown,
+    daly_interval,
+    effective_mtbf,
+    extract_phases,
+    migration_cycle_breakdown,
+    migration_phase_breakdown,
+    render_table,
+    render_timeline,
+    simulate_policy,
+    speedup,
+)
+from .params import NPB_TABLE
+from .scenario import Scenario
+from .simulate.trace import Tracer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RDMA-based job migration framework — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", default="LU.C", choices=sorted(NPB_TABLE),
+                       help="NPB application (default LU.C)")
+        p.add_argument("--nprocs", type=int, default=64)
+        p.add_argument("--nodes", type=int, default=8)
+        p.add_argument("--seed", type=int, default=0)
+
+    mig = sub.add_parser("migrate", help="one migration cycle + timeline")
+    common(mig)
+    mig.add_argument("--source", default="node3")
+    mig.add_argument("--transport", default="rdma",
+                     choices=["rdma", "ipoib", "tcp", "staging"])
+    mig.add_argument("--restart-mode", default="file",
+                     choices=["file", "memory"])
+
+    cmp_ = sub.add_parser("compare",
+                          help="migration vs CR(ext3) vs CR(PVFS) (Fig. 7)")
+    common(cmp_)
+
+    scale = sub.add_parser("scale", help="ranks/node sweep (Fig. 6)")
+    scale.add_argument("--ppn", type=int, nargs="+", default=[1, 2, 4, 8])
+    scale.add_argument("--seed", type=int, default=0)
+
+    interval = sub.add_parser(
+        "interval", help="checkpoint-interval extension study (Sec. VI)")
+    interval.add_argument("--mtbf-hours", type=float, default=6.0)
+    interval.add_argument("--coverage", type=float, nargs="+",
+                          default=[0.0, 0.5, 0.9])
+    interval.add_argument("--work-days", type=float, default=7.0)
+
+    sub.add_parser("validate",
+                   help="re-measure headline numbers and diff vs the paper")
+    return parser
+
+
+def _cmd_migrate(args) -> str:
+    tracer = Tracer()
+    sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                        n_compute=args.nodes, n_spare=1, iterations=40,
+                        seed=args.seed, transport=args.transport,
+                        restart_mode=args.restart_mode, trace=tracer)
+    report = sc.run_migration(args.source, at=5.0)
+    lines = [render_table(
+        f"Migration {args.source} -> {report.target} ({args.app}.{args.nprocs}, "
+        f"{args.transport}/{args.restart_mode})",
+        {"phases": migration_phase_breakdown(report)})]
+    lines.append(render_timeline(extract_phases(tracer), title="phase timeline"))
+    lines.append(f"data migrated: {report.bytes_migrated / 1e6:.1f} MB in "
+                 f"{report.chunks_transferred} chunks")
+    return "\n".join(lines)
+
+
+def _cmd_compare(args) -> str:
+    mig_sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                            n_compute=args.nodes, n_spare=1, iterations=40,
+                            seed=args.seed)
+    source = f"node{args.nodes - 1}"
+    migration = mig_sc.run_migration(source, at=5.0)
+    rows = {"Migration": migration_cycle_breakdown(migration)}
+    for dest in ("ext3", "pvfs"):
+        sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                            n_compute=args.nodes, n_spare=1, iterations=40,
+                            seed=args.seed, with_pvfs=True)
+        strategy = sc.cr_strategy(dest)
+
+        def drive(sim, strategy=strategy):
+            yield sim.timeout(5.0)
+            ckpt = yield from strategy.checkpoint()
+            restart = yield from strategy.restart()
+            return ckpt, restart
+
+        ckpt, restart = sc.sim.run(until=sc.sim.spawn(drive(sc.sim)))
+        rows[f"CR({dest})"] = cr_cycle_breakdown(ckpt, restart)
+    out = [render_table(f"Failure handling, {args.app}.{args.nprocs} (Fig. 7)",
+                        rows)]
+    for dest in ("ext3", "pvfs"):
+        s = speedup(rows[f"CR({dest})"]["Total"], migration.total_seconds)
+        out.append(f"speedup over CR({dest}): {s:.2f}x")
+    return "\n".join(out)
+
+
+def _cmd_scale(args) -> str:
+    rows = {}
+    for ppn in args.ppn:
+        sc = Scenario.build(app="LU.C", nprocs=8 * ppn, n_compute=8,
+                            n_spare=1, iterations=40, seed=args.seed)
+        report = sc.run_migration("node3", at=5.0)
+        rows[f"{ppn} ranks/node"] = migration_phase_breakdown(report)
+    return render_table("Migration scalability, LU.C on 8 nodes (Fig. 6)",
+                        rows)
+
+
+def _cmd_interval(args) -> str:
+    mtbf = args.mtbf_hours * 3600.0
+    # Fixed representative costs (LU.C.64 on PVFS, from EXPERIMENTS.md).
+    delta, restart, mig = 14.6, 11.9, 6.1
+    rows = {}
+    for cov in args.coverage:
+        tau = daly_interval(delta, effective_mtbf(mtbf, cov))
+        out = simulate_policy(args.work_days * 86400.0, delta, restart,
+                              mtbf, cov, mig,
+                              policy="cr+migration" if cov else "cr-only",
+                              rng=np.random.default_rng(42))
+        rows[f"coverage {int(cov * 100)}%"] = {
+            "interval (min)": tau / 60.0,
+            "checkpoints": float(out.n_checkpoints),
+            "rollbacks": float(out.n_rollbacks),
+            "migrations": float(out.n_migrations),
+            "efficiency %": 100 * out.efficiency,
+        }
+    return render_table(
+        f"Checkpoint-interval extension (MTBF {args.mtbf_hours:g} h, "
+        f"{args.work_days:g}-day job)", rows, unit="mixed", digits=1)
+
+
+def _cmd_validate(args) -> str:
+    from .validation import render_validation, run_validation
+
+    return render_validation(run_validation())
+
+
+_COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
+             "scale": _cmd_scale, "interval": _cmd_interval,
+             "validate": _cmd_validate}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0

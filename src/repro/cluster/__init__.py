@@ -1,0 +1,18 @@
+"""Cluster substrate: nodes, OS processes, health monitoring."""
+
+from .health import FailureInjector, HealthEvent, HealthMonitor, Sensor, SensorSpec
+from .node import Cluster, Node, NodeState
+from .osproc import MemorySegment, OSProcess
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "NodeState",
+    "OSProcess",
+    "MemorySegment",
+    "Sensor",
+    "SensorSpec",
+    "FailureInjector",
+    "HealthMonitor",
+    "HealthEvent",
+]

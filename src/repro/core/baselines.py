@@ -1,0 +1,197 @@
+"""Baseline Phase-2 transports the paper argues against (Sec. III-B).
+
+Each implements the same session interface as
+:class:`~repro.core.buffer_manager.RDMAMigrationSession` so the framework
+can swap them in for the transport ablation:
+
+* ``tcp`` — Wang et al.'s socket-based live migration [9]: BLCR treats a
+  TCP socket as the checkpoint fd; every byte pays the GigE wire *and* the
+  kernel memory copies at both hosts;
+* ``ipoib`` — the same socket protocol over the InfiniBand wire: faster
+  wire, same copy overhead ("suboptimal performance because it still
+  follows the memory-copy based socket protocol");
+* ``staging`` — the naive strategy: checkpoint to a local file, copy the
+  file to the target, restart from it.  Pays the source disk twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..params import MigrationParams
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Resource
+from ..network.ipoib import IPoIBFabric
+from ..blcr.image import CheckpointImage
+from ..cluster.node import Cluster, Node
+
+__all__ = ["make_baseline_session", "TCPMigrationSession",
+           "IPoIBMigrationSession", "StagingMigrationSession"]
+
+
+class _BaselineSession:
+    """Shared bookkeeping: reassembly, completion tracking, accounting."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, source: Node,
+                 target: Node, params: Optional[MigrationParams],
+                 tmp_prefix: str = "/tmp/migrate"):
+        self.sim = sim
+        self.cluster = cluster
+        self.source = source
+        self.target = target
+        self.params = params or cluster.testbed.migration
+        self.tmp_prefix = tmp_prefix
+        self.expected_procs = 0
+        self._finals_seen = 0
+        self.done: Event = Event(sim, name="baseline-transfer-done")
+        self.images: Dict[str, CheckpointImage] = {}
+        self.paths: Dict[str, str] = {}
+        self._handles: Dict[str, object] = {}
+        self.bytes_pulled = 0.0
+        self.chunks_pulled = 0
+
+    def setup(self, expected_procs: int) -> Generator:
+        if expected_procs < 1:
+            raise ValueError("expected_procs must be >= 1")
+        self.expected_procs = expected_procs
+        yield self.sim.timeout(0)
+
+    def sink(self):
+        return self
+
+    def teardown(self) -> None:
+        pass
+
+    # -- target-side reassembly helpers -----------------------------------------
+    def _tmp_path(self, proc_name: str) -> str:
+        return f"{self.tmp_prefix}/{proc_name}.ckpt"
+
+    def _get_or_create(self, key: str, fs, path: str) -> Generator:
+        """Race-free get-or-create of a file handle (see buffer_manager)."""
+        entry = self._handles.get(key)
+        if isinstance(entry, Event):
+            yield entry
+            entry = self._handles[key]
+        if entry is not None:
+            return entry
+        gate = Event(self.sim, name=f"create.{key}")
+        self._handles[key] = gate
+        handle = yield from fs.create(path)
+        self._handles[key] = handle
+        gate.succeed()
+        return handle
+
+    def _write_target(self, proc_name: str, offset: int, nbytes: int,
+                      data: Optional[np.ndarray]) -> Generator:
+        handle = yield from self._get_or_create(proc_name, self.target.fs,
+                                                self._tmp_path(proc_name))
+        yield from self.target.fs.write(handle, nbytes, data=data,
+                                        through_cache=True, offset=offset)
+        self.bytes_pulled += nbytes
+        self.chunks_pulled += 1
+
+    def _finish(self, image: CheckpointImage) -> Generator:
+        handle = yield from self._get_or_create(
+            image.proc_name, self.target.fs, self._tmp_path(image.proc_name))
+        yield from self.target.fs.close(handle)
+        self.paths[image.proc_name] = self._tmp_path(image.proc_name)
+        self.images[image.proc_name] = CheckpointImage(
+            image.proc_name, image.origin_node, image.layout,
+            image.app_state, payload=None)
+        self._finals_seen += 1
+        if self._finals_seen == self.expected_procs:
+            self.done.succeed()
+
+
+class TCPMigrationSession(_BaselineSession):
+    """Socket-streamed images over the GigE maintenance network."""
+
+    fabric_name = "gige"
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        #: One socket per migration: sends serialize like a TCP stream.
+        self._stream_lock = Resource(self.sim, capacity=1)
+        self.fabric = self._make_fabric()
+
+    def _make_fabric(self):
+        return self.cluster.eth
+
+    def write(self, image: CheckpointImage, offset: int, nbytes: int,
+              data: Optional[np.ndarray]) -> Generator:
+        with self._stream_lock.request() as req:
+            yield req
+            yield self.fabric.transfer(self.source.name, self.target.name,
+                                       nbytes, label="mig-tcp")
+        yield from self._write_target(image.proc_name, offset, nbytes, data)
+
+    def finalize(self, image: CheckpointImage) -> Generator:
+        yield from self._finish(image)
+
+
+class IPoIBMigrationSession(TCPMigrationSession):
+    """The same socket protocol riding IPoIB instead of GigE."""
+
+    fabric_name = "ipoib"
+
+    def _make_fabric(self):
+        return IPoIBFabric(self.sim, self.cluster.ib)
+
+
+class StagingMigrationSession(_BaselineSession):
+    """Checkpoint to a local file, then copy the file to the target."""
+
+    def write(self, image: CheckpointImage, offset: int, nbytes: int,
+              data: Optional[np.ndarray]) -> Generator:
+        # Stage 1: local checkpoint file on the *source* disk.
+        handle = yield from self._get_or_create(
+            f"src:{image.proc_name}", self.source.fs,
+            f"/tmp/stage/{image.proc_name}.ckpt")
+        yield from self.source.fs.write(handle, nbytes, data=data,
+                                        through_cache=True, offset=offset)
+
+    def finalize(self, image: CheckpointImage) -> Generator:
+        handle = yield from self._get_or_create(
+            f"src:{image.proc_name}", self.source.fs,
+            f"/tmp/stage/{image.proc_name}.ckpt")
+        # BLCR's normal behaviour: a durable checkpoint file.
+        yield from self.source.fs.close(handle, sync=True)
+        self.sim.spawn(self._copy_over(image, handle.file.path),
+                       name=f"stage-copy.{image.proc_name}")
+        yield self.sim.timeout(0)
+
+    def _copy_over(self, image: CheckpointImage, src_path: str) -> Generator:
+        """Read the staged file back and ship it to the target over IB."""
+        read_handle = yield from self.source.fs.open(src_path)
+        chunk = 4 << 20
+        offset = 0
+        while offset < image.nbytes:
+            n = min(chunk, image.nbytes - offset)
+            data = yield from self.source.fs.read(read_handle, nbytes=n)
+            yield self.cluster.ib.move(self.source.name, self.target.name,
+                                       n, kind="stage-copy")
+            yield from self._write_target(image.proc_name, offset, n, data)
+            offset += n
+        yield from self.source.fs.close(read_handle)
+        yield from self._finish(image)
+
+
+_BASELINES = {
+    "tcp": TCPMigrationSession,
+    "ipoib": IPoIBMigrationSession,
+    "staging": StagingMigrationSession,
+}
+
+
+def make_baseline_session(name: str, sim: Simulator, cluster: Cluster,
+                          source: Node, target: Node,
+                          params: Optional[MigrationParams]):
+    try:
+        cls = _BASELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; choose rdma|{'|'.join(_BASELINES)}"
+        ) from None
+    return cls(sim, cluster, source, target, params)

@@ -1,0 +1,266 @@
+"""The Job Migration Framework: four-phase orchestration (paper Sec. III-A).
+
+Wires together everything below it: the FTB backplane carries the protocol
+messages (``FTB_MIGRATE`` → ``FTB_MIGRATE_PIIC`` → ``FTB_RESTART``), the
+per-rank C/R threads drain and tear down MPI channels, the extended BLCR
+checkpoints the source node's processes into the RDMA buffer-pool session,
+the spare's NLA restarts them, and the Job Manager repairs the spawn tree
+and re-runs the PMI exchange.
+
+The framework also exposes the *stall/resume* primitives that the
+Checkpoint/Restart strategy (the baseline being compared against) reuses —
+in MVAPICH2 both designs share this infrastructure [14].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..params import MigrationParams
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Resource, Store
+from ..cluster.node import Cluster, Node, NodeState
+from ..ftb.agent import FTBBackplane
+from ..ftb.client import FTBClient
+from ..ftb.events import (
+    FTB_CKPT_BEGIN,
+    FTB_MIGRATE,
+    FTB_MIGRATE_PIIC,
+    FTB_RESTART,
+)
+from ..launch.job_manager import JobManager
+from ..mpi.job import MPIJob
+from ..mpi.rank import MPIRank
+from ..blcr.checkpoint import CheckpointEngine
+from .buffer_manager import RDMAMigrationSession
+from .protocol import MigrationPhase, MigrationReport
+
+__all__ = ["JobMigrationFramework", "MigrationError"]
+
+_STALL_REPORT_BYTES = 128
+
+
+class MigrationError(Exception):
+    """No usable spare, bad source, or a protocol-level failure."""
+
+
+class JobMigrationFramework:
+    """Per-job migration runtime.
+
+    Parameters
+    ----------
+    transport:
+        Phase-2 image transport: ``"rdma"`` (the paper's design) or one of
+        the baselines registered in :mod:`repro.core.baselines`
+        (``"tcp"``, ``"ipoib"``, ``"staging"``).
+    restart_mode:
+        ``"file"`` (paper implementation) or ``"memory"`` (Sec. VI
+        extension).
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster, job: MPIJob,
+                 backplane: FTBBackplane,
+                 job_manager: Optional[JobManager] = None,
+                 transport: str = "rdma", restart_mode: str = "file",
+                 migration_params: Optional[MigrationParams] = None):
+        self.sim = sim
+        self.cluster = cluster
+        self.job = job
+        self.backplane = backplane
+        self.jm = job_manager or JobManager(sim, cluster, backplane)
+        self.transport = transport
+        self.restart_mode = restart_mode
+        self.params = migration_params or cluster.testbed.migration
+        self.reports: List[MigrationReport] = []
+        self._stall_reports: Store = Store(sim)
+        #: One migration/checkpoint operation at a time (the paper's cycle).
+        self._op_lock = Resource(sim, capacity=1)
+        self._cr_threads = [
+            sim.spawn(self._cr_thread(rank), name=f"cr-thread.r{rank.rank}")
+            for rank in job.ranks
+        ]
+
+    # ------------------------------------------------------------------
+    # C/R thread: one per MPI process, subscribed to the FTB backplane.
+    # ------------------------------------------------------------------
+    def _cr_thread(self, rank: MPIRank) -> Generator:
+        client = FTBClient(self.backplane, rank.node.name,
+                           f"cr.{self.job.name}.r{rank.rank}")
+        sub = client.subscribe("FTB.MPI.MVAPICH2.*")
+        seen: set = set()
+        while True:
+            event = yield sub.queue.get()
+            if event.event_id in seen:
+                # Re-subscribing after a migration (or an agent failover)
+                # during an in-flight flood can replay an event; FTB clients
+                # dedup on the event id.
+                continue
+            seen.add(event.event_id)
+            if event.name in (FTB_MIGRATE, FTB_CKPT_BEGIN):
+                yield from rank.controller.suspend_and_drain()
+                # Report stall-complete to the Job Manager (control message
+                # over the maintenance network).
+                yield self.cluster.eth.transfer(rank.node.name,
+                                                self.cluster.login.name,
+                                                _STALL_REPORT_BYTES)
+                self._stall_reports.put(rank.rank)
+            elif event.name == FTB_RESTART:
+                # Ranks idle in the migration barrier; the framework drives
+                # re-establishment and release directly in Phase 4.
+                pass
+            # A migrated rank's agent changed: rebind the FTB client.
+            if client.node != rank.node.name:
+                client.unsubscribe(sub)
+                client = FTBClient(self.backplane, rank.node.name,
+                                   f"cr.{self.job.name}.r{rank.rank}")
+                sub = client.subscribe("FTB.MPI.MVAPICH2.*")
+
+    # ------------------------------------------------------------------
+    # Shared stall/resume primitives (used by migration AND the CR baseline)
+    # ------------------------------------------------------------------
+    def stall_all(self, ftb_event: str, payload: dict) -> Generator:
+        """Generator: publish the trigger event and wait until every rank
+        reports a drained, torn-down state (Phase 1)."""
+        yield from self.jm.ftb.publish(ftb_event, payload)
+        for _ in range(self.job.nprocs):
+            yield self._stall_reports.get()
+            yield self.sim.timeout(self.jm.params.report_handling_cost)
+
+    def resume_all(self) -> Generator:
+        """Generator: PMI re-exchange, endpoint re-establishment, and the
+        collective exit from the migration barrier (Phase 4)."""
+        yield from self.jm.pmi_exchange(self.job.nprocs)
+        workers = [
+            self.sim.spawn(rank.controller.reestablish(),
+                           name=f"reconn.r{rank.rank}")
+            for rank in self.job.ranks
+        ]
+        if workers:
+            yield self.sim.all_of(workers)
+        for rank in self.job.ranks:
+            rank.controller.release()
+
+    # ------------------------------------------------------------------
+    # The migration cycle
+    # ------------------------------------------------------------------
+    def migrate(self, source: str, target: Optional[str] = None,
+                reason: str = "user") -> Generator:
+        """Generator: run one full migration cycle; returns the report."""
+        with self._op_lock.request() as op:
+            yield op
+            report = yield from self._migrate_locked(source, target, reason)
+            return report
+
+    def _migrate_locked(self, source: str, target: Optional[str],
+                        reason: str) -> Generator:
+        source_node = self.cluster.node(source)
+        victims = self.job.ranks_on(source)
+        if not victims:
+            raise MigrationError(f"no ranks of {self.job.name} on {source}")
+        if target is None:
+            spare = self.cluster.healthy_spare()
+            if spare is None:
+                raise MigrationError("no healthy spare node available")
+            target = spare.name
+        target_node = self.cluster.node(target)
+        if self.job.ranks_on(target):
+            raise MigrationError(f"target {target} already hosts ranks")
+
+        report = MigrationReport(
+            source=source, target=target, reason=reason,
+            transport=self.transport, restart_mode=self.restart_mode,
+            started_at=self.sim.now,
+            ranks_migrated=[r.rank for r in victims])
+        trace = self.cluster.trace
+        t0 = self.sim.now
+        trace.record(t0, "migration.start", source=source, target=target,
+                     reason=reason)
+
+        # ---- Phase 1: Job Stall -------------------------------------------
+        trace.record(t0, "phase.start", phase=MigrationPhase.STALL.value)
+        yield from self.stall_all(FTB_MIGRATE,
+                                  {"source": source, "target": target})
+        t1 = self.sim.now
+        trace.record(t1, "phase.end", phase=MigrationPhase.STALL.value)
+        report.phase_seconds[MigrationPhase.STALL] = t1 - t0
+
+        # ---- Phase 2: Job Migration ----------------------------------------
+        trace.record(t1, "phase.start", phase=MigrationPhase.MIGRATION.value)
+        session = self._make_session(source_node, target_node)
+        yield from session.setup(expected_procs=len(victims))
+        engine = CheckpointEngine(self.sim, source,
+                                  params=self.cluster.testbed.blcr,
+                                  net=self.cluster.net)
+        sink = session.sink()
+        workers = [
+            self.sim.spawn(
+                engine.checkpoint(rank.osproc, sink,
+                                  chunk_bytes=self.params.chunk_size),
+                name=f"ckpt.r{rank.rank}")
+            for rank in victims
+        ]
+        yield self.sim.all_of(workers)
+        yield session.done  # every chunk reassembled at the target
+        # Source NLA announces process-images-in-place and goes inactive.
+        source_nla = self.jm.nla(source)
+        yield from source_nla.ftb.publish(FTB_MIGRATE_PIIC,
+                                          {"source": source, "target": target})
+        source_nla.to_inactive()
+        t2 = self.sim.now
+        trace.record(t2, "phase.end", phase=MigrationPhase.MIGRATION.value,
+                     bytes=session.bytes_pulled)
+        report.phase_seconds[MigrationPhase.MIGRATION] = t2 - t1
+        report.bytes_migrated = session.bytes_pulled
+        report.chunks_transferred = session.chunks_pulled
+
+        # ---- Phase 3: Restart on the spare ---------------------------------
+        trace.record(t2, "phase.start", phase=MigrationPhase.RESTART.value)
+        yield from self.jm.repair_tree(source, target)
+        yield from self.jm.ftb.publish(
+            FTB_RESTART, {"target": target,
+                          "ranks": [r.rank for r in victims]})
+        target_nla = self.jm.nla(target)
+        restarted = yield from target_nla.restart_processes(
+            session.images, session.paths, mode=self.restart_mode)
+        for rank in victims:
+            rank.relocate(target_node)
+            rank.osproc = restarted[rank.osproc.name]
+        session.teardown()
+        if target_node in self.cluster.spares:
+            self.cluster.promote_spare(target_node)
+        if reason != "user":
+            self.cluster.retire(source_node)
+        else:
+            # Maintenance drain: the node is healthy, so it re-arms as a hot
+            # spare (its NLA goes back to MIGRATION_SPARE) once serviced.
+            source_node.mark(NodeState.HEALTHY)
+            if source_node in self.cluster.compute:
+                self.cluster.compute.remove(source_node)
+                self.cluster.spares.append(source_node)
+            from ..launch.nla import NLAState
+
+            source_nla.state = NLAState.MIGRATION_SPARE
+        t3 = self.sim.now
+        trace.record(t3, "phase.end", phase=MigrationPhase.RESTART.value)
+        report.phase_seconds[MigrationPhase.RESTART] = t3 - t2
+
+        # ---- Phase 4: Resume --------------------------------------------------
+        trace.record(t3, "phase.start", phase=MigrationPhase.RESUME.value)
+        yield from self.resume_all()
+        t4 = self.sim.now
+        trace.record(t4, "phase.end", phase=MigrationPhase.RESUME.value)
+        trace.record(t4, "migration.end", source=source, target=target,
+                     total=t4 - t0)
+        report.phase_seconds[MigrationPhase.RESUME] = t4 - t3
+
+        self.reports.append(report)
+        return report
+
+    def _make_session(self, source: Node, target: Node):
+        if self.transport == "rdma":
+            return RDMAMigrationSession(self.sim, self.cluster, source,
+                                        target, params=self.params)
+        from .baselines import make_baseline_session
+
+        return make_baseline_session(self.transport, self.sim, self.cluster,
+                                     source, target, self.params)

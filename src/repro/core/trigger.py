@@ -1,0 +1,68 @@
+"""Migration triggers: user requests and health-monitor alarms.
+
+The paper's migrations start either from a user signal to the Job Manager
+or from a health-deteriorating event (IPMI / failure-prediction models).
+:class:`MigrationTrigger` is the glue: it owns the policy (pick a spare,
+ignore duplicate alarms, serialize cycles) and invokes the framework.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..simulate.core import Process, Simulator
+from ..cluster.health import HealthEvent, HealthMonitor
+from ..ftb.events import FTB_HEALTH_ALARM
+from .framework import JobMigrationFramework, MigrationError
+from .protocol import MigrationReport
+
+__all__ = ["MigrationTrigger"]
+
+
+class MigrationTrigger:
+    """Policy layer converting trigger events into migration cycles."""
+
+    def __init__(self, framework: JobMigrationFramework,
+                 monitor: Optional[HealthMonitor] = None):
+        self.framework = framework
+        self.sim: Simulator = framework.sim
+        self.cluster = framework.cluster
+        self.fired: List[MigrationReport] = []
+        self.failed_triggers: List[str] = []
+        self._in_flight: set = set()
+        if monitor is not None:
+            monitor.on_alarm = self.on_health_alarm
+
+    # -- user path ------------------------------------------------------------
+    def request(self, source: str, target: Optional[str] = None,
+                reason: str = "user") -> Process:
+        """Fire a user-requested migration (e.g. planned maintenance);
+        returns the process driving it."""
+        return self.sim.spawn(self._run(source, target, reason),
+                              name=f"trigger.{source}")
+
+    # -- health path -------------------------------------------------------------
+    def on_health_alarm(self, event: HealthEvent) -> None:
+        """Callback wired to :class:`HealthMonitor`: proactive migration
+        away from the deteriorating node."""
+        if event.node in self._in_flight:
+            return
+        self.framework.jm.ftb.publish_nowait(
+            FTB_HEALTH_ALARM,
+            {"node": event.node, "predicted_fail": event.predicted_fail_time})
+        self.request(event.node, reason=f"health:{event.sensor}")
+
+    # -- engine ----------------------------------------------------------------
+    def _run(self, source: str, target: Optional[str],
+             reason: str) -> Generator:
+        self._in_flight.add(source)
+        try:
+            report = yield from self.framework.migrate(source, target,
+                                                       reason=reason)
+            self.fired.append(report)
+            return report
+        except MigrationError as exc:
+            self.failed_triggers.append(f"{source}: {exc}")
+            return None
+        finally:
+            self._in_flight.discard(source)

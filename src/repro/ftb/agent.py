@@ -1,0 +1,201 @@
+"""FTB agents: the distributed daemons forming the backplane tree.
+
+One agent runs per node.  Agents connect parent↔child over the GigE fabric
+and flood published events through the tree with per-hop routing cost and
+event-id deduplication.  Local clients (Job Manager, NLAs, MPI processes'
+C/R threads) register subscriptions with their node's agent; matched events
+are delivered into the client's queue.
+
+Self-healing (paper Sec. II-B): when an agent dies, its children re-parent
+to their grandparent (or the root) after a reconnect delay, so the tree
+stays connected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Set
+
+from ..params import FTBParams
+from ..simulate.core import Simulator
+from ..simulate.resources import Store
+from ..network.ethernet import EthernetFabric
+from .events import FTBEvent, match_mask
+
+__all__ = ["FTBAgent", "FTBBackplane", "Subscription"]
+
+
+class Subscription:
+    """One client subscription: a mask plus a delivery queue."""
+
+    __slots__ = ("mask", "queue", "client_name", "callback")
+
+    def __init__(self, sim: Simulator, mask: str, client_name: str,
+                 callback: Optional[Callable[[FTBEvent], None]] = None):
+        self.mask = mask
+        self.client_name = client_name
+        self.queue: Store = Store(sim)
+        self.callback = callback
+
+    def deliver(self, event: FTBEvent) -> None:
+        self.queue.put(event)
+        if self.callback is not None:
+            self.callback(event)
+
+
+class FTBAgent:
+    """The per-node daemon (client + manager + network layers fused)."""
+
+    def __init__(self, backplane: "FTBBackplane", node: str):
+        self.backplane = backplane
+        self.sim = backplane.sim
+        self.node = node
+        self.parent: Optional["FTBAgent"] = None
+        self.children: List["FTBAgent"] = []
+        self.subscriptions: List[Subscription] = []
+        self.alive = True
+        self._seen: Set[int] = set()
+        self._inbox: Store = Store(self.sim)
+        self.proc = self.sim.spawn(self._run(), name=f"ftb-agent.{node}")
+
+    # -- tree maintenance ----------------------------------------------------
+    def attach_child(self, child: "FTBAgent") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def neighbours(self) -> List["FTBAgent"]:
+        out = list(self.children)
+        if self.parent is not None:
+            out.append(self.parent)
+        return [a for a in out if a.alive]
+
+    def fail(self) -> None:
+        """Kill this agent; children self-heal by re-parenting and local
+        clients fail over to a surviving agent."""
+        self.alive = False
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        new_parent = self.parent if (self.parent and self.parent.alive) \
+            else self.backplane.root
+        for child in list(self.children):
+            child.parent = None
+            self.sim.spawn(child._reconnect(new_parent),
+                           name=f"ftb-reconnect.{child.node}")
+        self.children = []
+        # Client failover: subscriptions re-register with a live agent so
+        # fault-tolerance traffic keeps flowing to this node's components.
+        survivor = new_parent if new_parent.alive else self.backplane.root
+        if survivor is not self and survivor.alive:
+            survivor.subscriptions.extend(self.subscriptions)
+        self.subscriptions = []
+
+    def _reconnect(self, target: "FTBAgent") -> Generator:
+        yield self.sim.timeout(self.backplane.params.reconnect_cost)
+        if not target.alive:
+            target = self.backplane.root
+        target.attach_child(self)
+
+    # -- event path ----------------------------------------------------------
+    def submit(self, event: FTBEvent) -> None:
+        """Hand an event to this agent (from a local client or a peer)."""
+        self._inbox.put(event)
+
+    def _run(self) -> Generator:
+        while True:
+            event: FTBEvent = yield self._inbox.get()
+            if not self.alive:
+                return
+            if event.event_id in self._seen:
+                continue
+            self._seen.add(event.event_id)
+            # Manager layer: match local subscriptions.
+            yield self.sim.timeout(self.backplane.params.route_cost)
+            for sub in self.subscriptions:
+                if match_mask(sub.mask, event.name):
+                    sub.deliver(event)
+            # Network layer: flood to tree neighbours.
+            for peer in self.neighbours():
+                if event.event_id in peer._seen:
+                    continue
+                self.sim.spawn(self._forward(peer, event),
+                               name=f"ftb-fwd.{self.node}->{peer.node}")
+
+    def _forward(self, peer: "FTBAgent", event: FTBEvent) -> Generator:
+        yield self.backplane.fabric.transfer(self.node, peer.node, event.nbytes,
+                                             label=f"ftb:{event.name}")
+        if peer.alive:
+            peer.submit(event)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"<FTBAgent {self.node} {state} children={len(self.children)}>"
+
+
+class FTBBackplane:
+    """Builds and owns the agent tree over the GigE fabric.
+
+    ``fanout`` controls the tree shape; the root lives on ``root_node``
+    (the login node in the paper's deployment).
+    """
+
+    def __init__(self, sim: Simulator, fabric: EthernetFabric,
+                 nodes: List[str], root_node: Optional[str] = None,
+                 fanout: int = 4, params: Optional[FTBParams] = None):
+        if not nodes:
+            raise ValueError("backplane needs at least one node")
+        self.sim = sim
+        self.fabric = fabric
+        self.params = params or FTBParams()
+        root_node = root_node or nodes[0]
+        if root_node not in nodes:
+            raise ValueError(f"root {root_node!r} not in node list")
+        for n in nodes:
+            fabric.attach(n)
+        self.agents: Dict[str, FTBAgent] = {}
+        self.root = self._build_tree(nodes, root_node, fanout)
+
+    def _build_tree(self, nodes: List[str], root_node: str, fanout: int) -> FTBAgent:
+        ordered = [root_node] + [n for n in nodes if n != root_node]
+        agents = [FTBAgent(self, n) for n in ordered]
+        for i, agent in enumerate(agents[1:], start=1):
+            parent = agents[(i - 1) // fanout]
+            parent.attach_child(agent)
+        self.agents = {a.node: a for a in agents}
+        return agents[0]
+
+    def agent(self, node: str) -> FTBAgent:
+        try:
+            return self.agents[node]
+        except KeyError:
+            raise KeyError(f"no FTB agent on {node!r}") from None
+
+    def live_agent(self, preferred: str) -> FTBAgent:
+        """The agent on ``preferred`` if alive, else the nearest live one
+        (clients of a dead daemon reconnect up the tree, root as anchor)."""
+        agent = self.agents.get(preferred)
+        while agent is not None and not agent.alive:
+            agent = agent.parent
+        if agent is None or not agent.alive:
+            agent = self.root
+        if not agent.alive:
+            for candidate in self.agents.values():
+                if candidate.alive:
+                    return candidate
+            raise RuntimeError("no live FTB agent anywhere")
+        return agent
+
+    def alive_agents(self) -> List[FTBAgent]:
+        return [a for a in self.agents.values() if a.alive]
+
+    def is_connected(self) -> bool:
+        """True when every live agent can reach the root through live links."""
+        reached = set()
+        stack = [self.root]
+        while stack:
+            a = stack.pop()
+            if a.node in reached or not a.alive:
+                continue
+            reached.add(a.node)
+            stack.extend(a.children)
+            if a.parent is not None:
+                stack.append(a.parent)
+        return all(a.node in reached for a in self.alive_agents())

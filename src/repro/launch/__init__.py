@@ -1,0 +1,7 @@
+"""Job-launch infrastructure: Job Manager, Node Launch Agents, spawn tree."""
+
+from .job_manager import JobManager
+from .nla import NLAState, NodeLaunchAgent
+from .spawn_tree import SpawnTree
+
+__all__ = ["JobManager", "NodeLaunchAgent", "NLAState", "SpawnTree"]

@@ -1,0 +1,97 @@
+"""Hierarchical mpispawn tree (ScELA-style launch topology).
+
+The Job Manager sits at the root (login node); NLAs form a k-ary tree used
+to stage launches and to aggregate control traffic.  Phase 3 of a migration
+must *repair* this tree — replacing the failing node with the spare — before
+processes can be restarted; :meth:`SpawnTree.replace` models that step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["SpawnTree"]
+
+
+class SpawnTree:
+    """k-ary tree over node names with the Job Manager's node at the root."""
+
+    def __init__(self, root: str, nodes: List[str], fanout: int = 8):
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if root in nodes:
+            raise ValueError("root must not appear in the node list")
+        self.root = root
+        self.fanout = fanout
+        self.parent: Dict[str, str] = {}
+        self.children: Dict[str, List[str]] = {root: []}
+        ordered = [root] + list(nodes)
+        for i, node in enumerate(ordered[1:], start=1):
+            parent = ordered[(i - 1) // fanout]
+            self.parent[node] = parent
+            self.children.setdefault(parent, [])
+            self.children[parent].append(node)
+            self.children.setdefault(node, [])
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self.parent)
+
+    def depth_of(self, node: str) -> int:
+        """Hops from the root (root itself is depth 0)."""
+        if node == self.root:
+            return 0
+        depth = 0
+        while node != self.root:
+            node = self.parent[node]
+            depth += 1
+        return depth
+
+    @property
+    def height(self) -> int:
+        return max((self.depth_of(n) for n in self.parent), default=0)
+
+    def path_to_root(self, node: str) -> List[str]:
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def replace(self, old: str, new: str) -> None:
+        """Swap ``old`` for ``new`` in place (same parent, same children).
+
+        This is the topology adjustment the Job Manager performs on
+        receiving ``FTB_MIGRATE_PIIC`` (paper Phase 3).
+        """
+        if old not in self.parent:
+            raise KeyError(f"{old!r} not in the spawn tree")
+        if new in self.parent or new == self.root:
+            raise ValueError(f"{new!r} already in the spawn tree")
+        parent = self.parent.pop(old)
+        self.parent[new] = parent
+        kids = self.children[parent]
+        kids[kids.index(old)] = new
+        self.children[new] = self.children.pop(old)
+        for child in self.children[new]:
+            self.parent[child] = new
+
+    def remove(self, node: str) -> None:
+        """Detach ``node``; its children re-attach to its parent.
+
+        Used when the migration target is *already* in the tree (hot spares
+        get NLAs at startup): the failed node just drops out.
+        """
+        if node not in self.parent:
+            raise KeyError(f"{node!r} not in the spawn tree")
+        parent = self.parent.pop(node)
+        kids = self.children[parent]
+        kids.remove(node)
+        for child in self.children.pop(node):
+            self.parent[child] = parent
+            kids.append(child)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.parent or node == self.root
+
+    def __repr__(self) -> str:
+        return f"<SpawnTree root={self.root} nodes={len(self.parent)} fanout={self.fanout}>"

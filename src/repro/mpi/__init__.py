@@ -1,0 +1,38 @@
+"""Simulated MPI library (MVAPICH2-style) over the InfiniBand model.
+
+Point-to-point with eager/rendezvous protocols, binomial collectives, and —
+the part the migration framework depends on — the Checkpoint/Restart channel
+machinery: suspend, drain with FLUSH markers, endpoint teardown, and
+re-establishment.
+"""
+
+from .api import MAX, MIN, PROD, SUM, Comm
+from .collectives import allreduce, barrier, bcast, gather, reduce_
+from .job import MPIJob
+from .message import ANY_SOURCE, ANY_TAG, CR_FLUSH_TAG, Message
+from .rank import CRController, MPIRank, Request
+from .transport import Channel, ChannelManager, EAGER_THRESHOLD
+
+__all__ = [
+    "Comm",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "MPIJob",
+    "MPIRank",
+    "Request",
+    "CRController",
+    "Channel",
+    "ChannelManager",
+    "EAGER_THRESHOLD",
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CR_FLUSH_TAG",
+    "barrier",
+    "bcast",
+    "reduce_",
+    "allreduce",
+    "gather",
+]

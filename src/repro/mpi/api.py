@@ -1,0 +1,148 @@
+"""mpi4py-flavoured communicator facade.
+
+Workload authors used to ``mpi4py`` get the familiar surface — lowercase
+methods for pickled Python objects, uppercase for sized buffers — on top of
+the simulated library::
+
+    def rank_main(rank):
+        comm = Comm(rank)
+        if comm.rank == 0:
+            yield from comm.send({"a": 7}, dest=1, tag=11)
+        elif comm.rank == 1:
+            data = yield from comm.recv(source=0, tag=11)
+        total = yield from comm.allreduce(comm.rank, op=SUM)
+        yield from comm.Barrier()
+
+Naming follows the mpi4py convention: ``send/recv/bcast/...`` move Python
+payloads (the simulated "pickle" size is estimated unless given), while
+``Send/Recv`` take explicit byte counts like their buffer-based
+counterparts.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Generator, Hashable, Optional
+
+from .message import ANY_SOURCE, ANY_TAG
+from .rank import MPIRank
+
+__all__ = ["Comm", "SUM", "MAX", "MIN", "PROD", "ANY_SOURCE", "ANY_TAG"]
+
+
+def SUM(a, b):
+    return a + b
+
+
+def MAX(a, b):
+    return a if a >= b else b
+
+
+def MIN(a, b):
+    return a if a <= b else b
+
+
+def PROD(a, b):
+    return a * b
+
+
+def _estimate_nbytes(obj: Any) -> int:
+    """Cheap stand-in for the pickled size of a Python payload."""
+    if obj is None:
+        return 64
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 64
+    if isinstance(obj, str):
+        return len(obj.encode()) + 64
+    if isinstance(obj, (int, float, bool, complex)):
+        return 64
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 64 + sum(_estimate_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 64 + sum(_estimate_nbytes(k) + _estimate_nbytes(v)
+                        for k, v in obj.items())
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes + 64
+    return max(sys.getsizeof(obj), 64)
+
+
+class Comm:
+    """A communicator view over one :class:`MPIRank` (COMM_WORLD-like)."""
+
+    def __init__(self, rank: MPIRank):
+        self._rank = rank
+
+    # -- introspection (mpi4py spelling) -----------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank.rank
+
+    @property
+    def size(self) -> int:
+        return self._rank.job.nprocs
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- pickled-object API (lowercase) -------------------------------------
+    def send(self, obj: Any, dest: int, tag: Hashable = 0) -> Generator:
+        yield from self._rank.send(dest, _estimate_nbytes(obj), tag, obj)
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG) -> Generator:
+        msg = yield from self._rank.recv(src=source, tag=tag)
+        return msg.payload
+
+    def isend(self, obj: Any, dest: int, tag: Hashable = 0):
+        """Non-blocking pickled send; returns a Request."""
+        return self._rank.isend(dest, _estimate_nbytes(obj), tag, obj)
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        """Non-blocking receive; ``wait()`` returns the Message."""
+        return self._rank.irecv(source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source=ANY_SOURCE,
+                 sendtag: Hashable = 0, recvtag=ANY_TAG) -> Generator:
+        yield from self.send(obj, dest, sendtag)
+        result = yield from self.recv(source, recvtag)
+        return result
+
+    def bcast(self, obj: Any, root: int = 0) -> Generator:
+        result = yield from self._rank.bcast(root, _estimate_nbytes(obj), obj)
+        return result
+
+    def reduce(self, value: Any, op=SUM, root: int = 0) -> Generator:
+        result = yield from self._rank.reduce(root, value, op,
+                                              _estimate_nbytes(value))
+        return result
+
+    def allreduce(self, value: Any, op=SUM) -> Generator:
+        result = yield from self._rank.allreduce(value, op,
+                                                 _estimate_nbytes(value))
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> Generator:
+        result = yield from self._rank.gather(root, value,
+                                              _estimate_nbytes(value))
+        return result
+
+    def barrier(self) -> Generator:
+        yield from self._rank.barrier()
+
+    # -- buffer-style API (uppercase, explicit sizes) -----------------------------
+    def Send(self, nbytes: int, dest: int, tag: Hashable = 0,
+             payload: Any = None) -> Generator:
+        yield from self._rank.send(dest, nbytes, tag, payload)
+
+    def Recv(self, source=ANY_SOURCE, tag=ANY_TAG) -> Generator:
+        msg = yield from self._rank.recv(src=source, tag=tag)
+        return msg
+
+    def Barrier(self) -> Generator:
+        yield from self._rank.barrier()
+
+    def __repr__(self) -> str:
+        return f"<Comm rank={self.rank}/{self.size}>"

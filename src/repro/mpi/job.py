@@ -1,0 +1,95 @@
+"""The MPI job: rank placement, application startup, suspension sweeps.
+
+An :class:`MPIJob` owns the ranks of one parallel application.  Placement is
+block distribution over the cluster's primary compute nodes (the paper runs
+64 ranks as 8-per-node over 8 nodes).  ``start`` launches one *main thread*
+per rank from an application factory — any generator taking the rank, e.g.
+an NPB skeleton from :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..simulate.core import Process, Simulator
+from ..cluster.node import Cluster, Node
+from ..cluster.osproc import OSProcess
+from .rank import MPIRank
+
+__all__ = ["MPIJob"]
+
+
+class MPIJob:
+    """One parallel application instance."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, nprocs: int,
+                 placement: Optional[List[str]] = None,
+                 image_bytes_per_rank: float = 8e6,
+                 record_data: bool = False, name: str = "job"):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.sim = sim
+        self.cluster = cluster
+        self.nprocs = nprocs
+        self.name = name
+        if placement is None:
+            placement = self.block_placement(nprocs, [n.name for n in cluster.compute])
+        if len(placement) != nprocs:
+            raise ValueError(f"placement has {len(placement)} entries for "
+                             f"{nprocs} ranks")
+        self.ranks: List[MPIRank] = []
+        for r, node_name in enumerate(placement):
+            node = cluster.node(node_name)
+            osproc = OSProcess.synthetic(
+                f"{name}.rank{r}", node_name, image_bytes=image_bytes_per_rank,
+                record_data=record_data,
+                rng=cluster.rng.stream(f"{name}.rank{r}.mem"))
+            self.ranks.append(MPIRank(sim, self, r, node, osproc))
+
+    @staticmethod
+    def block_placement(nprocs: int, nodes: List[str]) -> List[str]:
+        """Contiguous block placement, ranks r -> nodes[r // ppn]."""
+        if nprocs % len(nodes) != 0:
+            raise ValueError(
+                f"{nprocs} ranks do not divide evenly over {len(nodes)} nodes")
+        ppn = nprocs // len(nodes)
+        return [nodes[r // ppn] for r in range(nprocs)]
+
+    # -- lookup -----------------------------------------------------------
+    def rank_obj(self, r: int) -> MPIRank:
+        return self.ranks[r]
+
+    def ranks_on(self, node_name: str) -> List[MPIRank]:
+        return [rk for rk in self.ranks if rk.node.name == node_name]
+
+    @property
+    def nodes_used(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for rk in self.ranks:
+            seen.setdefault(rk.node.name, None)
+        return list(seen)
+
+    # -- application lifecycle ------------------------------------------------
+    def start(self, app_factory: Callable[[MPIRank], Generator]) -> List[Process]:
+        """Spawn every rank's main thread; returns the processes."""
+        procs = []
+        for rk in self.ranks:
+            proc = self.sim.spawn(app_factory(rk), name=f"{self.name}.r{rk.rank}")
+            rk.main_proc = proc
+            procs.append(proc)
+        return procs
+
+    def completion(self) -> "Process":
+        """Event that fires when every main thread has finished."""
+        missing = [rk.rank for rk in self.ranks if rk.main_proc is None]
+        if missing:
+            raise RuntimeError(f"ranks {missing} were never started")
+        return self.sim.all_of([rk.main_proc for rk in self.ranks])
+
+    # -- aggregate accounting ---------------------------------------------------
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(rk.bytes_sent for rk in self.ranks)
+
+    def __repr__(self) -> str:
+        return f"<MPIJob {self.name} nprocs={self.nprocs}>"

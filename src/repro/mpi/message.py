@@ -1,0 +1,34 @@
+"""MPI message envelope and matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["Message", "ANY_SOURCE", "ANY_TAG", "CR_FLUSH_TAG"]
+
+#: Wildcards mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE = object()
+ANY_TAG = object()
+
+#: Reserved tag carried by channel-drain FLUSH markers (never matched by
+#: application receives).
+CR_FLUSH_TAG = ("__cr__", "flush")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: Hashable
+    nbytes: int
+    payload: Any = None
+
+    def matches(self, src, tag) -> bool:
+        if src is not ANY_SOURCE and self.src != src:
+            return False
+        if tag is not ANY_TAG and self.tag != tag:
+            return False
+        return True

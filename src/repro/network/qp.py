@@ -1,0 +1,265 @@
+"""Reliable-Connection queue pairs, completion queues and verbs.
+
+The work-request model follows the verbs API shape: operations are *posted*
+(non-blocking) and their outcomes arrive as :class:`WorkCompletion` entries
+on a :class:`CompletionQueue`.  Two-sided SEND consumes a posted RECV at the
+peer; one-sided RDMA READ/WRITE touch only registered memory at the peer and
+complete without involving any remote process — the property the migration
+design exploits.
+
+RC ordering is modelled by serializing each QP's send queue (hardware
+processes WQEs in order), and a QP transitions to ``ERROR`` on the first
+failed operation, as real RC QPs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import count
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Resource, Store
+from .infiniband import HCA, IBFabric, MemoryRegion, RemoteKeyError
+
+__all__ = [
+    "QPState",
+    "WorkCompletion",
+    "CompletionQueue",
+    "CompletionError",
+    "QueuePair",
+]
+
+
+class QPState(Enum):
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERROR = "ERROR"
+
+
+class CompletionError(Exception):
+    """A work request completed with error status."""
+
+    def __init__(self, wc: "WorkCompletion"):
+        super().__init__(f"{wc.opcode} wr_id={wc.wr_id}: {wc.error}")
+        self.wc = wc
+
+
+@dataclass
+class WorkCompletion:
+    """One CQE: outcome of a posted work request."""
+
+    wr_id: Any
+    opcode: str  # SEND / RECV / RDMA_READ / RDMA_WRITE
+    ok: bool
+    nbytes: int = 0
+    payload: Any = None
+    error: Optional[BaseException] = None
+
+    def raise_on_error(self) -> "WorkCompletion":
+        if not self.ok:
+            raise CompletionError(self)
+        return self
+
+
+class CompletionQueue:
+    """FIFO of work completions, pollable by a sim process."""
+
+    def __init__(self, sim: Simulator, name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._entries: Store = Store(sim)
+
+    def push(self, wc: WorkCompletion) -> None:
+        self._entries.put(wc)
+
+    def poll(self, match: Optional[Any] = None) -> Event:
+        """Event yielding the next completion (optionally for one wr_id)."""
+        if match is None:
+            return self._entries.get()
+        return self._entries.get(filter=lambda wc: wc.wr_id == match)
+
+    def poll_where(self, predicate) -> Event:
+        """Event yielding the next completion satisfying ``predicate``."""
+        return self._entries.get(filter=predicate)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class _PostedRecv:
+    wr_id: Any
+    max_bytes: int
+
+
+class QueuePair:
+    """One endpoint of a reliable connection."""
+
+    _ids = count()
+
+    def __init__(self, sim: Simulator, hca: HCA, cq: Optional[CompletionQueue] = None):
+        self.sim = sim
+        self.hca = hca
+        self.fabric: IBFabric = hca.fabric
+        self.cq = cq or CompletionQueue(sim, name=f"cq.{hca.node}")
+        self.state = QPState.RESET
+        self.peer: Optional["QueuePair"] = None
+        self.qp_num = next(self._ids)
+        self._recv_queue: Store = Store(sim)
+        self._send_lock = Resource(sim, capacity=1)
+
+    # -- connection management ------------------------------------------------
+    def connect(self, peer: "QueuePair") -> Generator:
+        """Generator: CM handshake driving both QPs RESET→INIT→RTR→RTS.
+
+        Costs one qp_setup_time (covers the state transitions and the
+        address handle exchange).
+        """
+        if self.state is not QPState.RESET or peer.state is not QPState.RESET:
+            raise RuntimeError("connect() requires both QPs in RESET")
+        self.state = peer.state = QPState.INIT
+        yield self.sim.timeout(self.fabric.params.qp_setup_time)
+        self.state = peer.state = QPState.RTR
+        self.peer = peer
+        peer.peer = self
+        self.state = peer.state = QPState.RTS
+        return self
+
+    def destroy(self) -> None:
+        """Tear the connection down; adapter-cached context is lost.
+
+        Pending posted receives are flushed with error completions, like a
+        real QP draining into ERROR before destruction.
+        """
+        if self.peer is not None and self.peer.peer is self:
+            self.peer.peer = None
+            self.peer.state = QPState.ERROR
+        self.peer = None
+        self.state = QPState.RESET
+        while self._recv_queue.items:
+            posted: _PostedRecv = self._recv_queue.items.pop(0)
+            self.cq.push(WorkCompletion(posted.wr_id, "RECV", ok=False,
+                                        error=RuntimeError("QP flushed")))
+
+    def _require_rts(self, op: str) -> Optional[BaseException]:
+        if self.state is not QPState.RTS or self.peer is None:
+            return RuntimeError(f"{op} on QP in state {self.state.name} (no peer)")
+        return None
+
+    def _fail(self, wr_id: Any, opcode: str, exc: BaseException) -> None:
+        self.state = QPState.ERROR
+        self.cq.push(WorkCompletion(wr_id, opcode, ok=False, error=exc))
+
+    # -- two-sided verbs --------------------------------------------------------
+    def post_recv(self, wr_id: Any, max_bytes: int = 2**62) -> None:
+        self._recv_queue.put(_PostedRecv(wr_id, max_bytes))
+
+    def post_send(self, wr_id: Any, nbytes: int, payload: Any = None) -> None:
+        """Post a SEND; completion (and the peer's RECV completion) arrive
+        on the respective CQs."""
+        err = self._require_rts("post_send")
+        if err is not None:
+            self._fail(wr_id, "SEND", err)
+            return
+        self.sim.spawn(self._do_send(wr_id, nbytes, payload),
+                       name=f"qp{self.qp_num}.send")
+
+    def _do_send(self, wr_id: Any, nbytes: int, payload: Any) -> Generator:
+        with self._send_lock.request() as req:  # RC in-order WQE processing
+            yield req
+            peer = self.peer
+            if peer is None:
+                self._fail(wr_id, "SEND", RuntimeError("peer gone"))
+                return
+            yield self.fabric.move(self.hca.node, peer.hca.node, nbytes, "send")
+            posted_ev = peer._recv_queue.get()
+            posted = yield posted_ev  # RNR semantics: wait for a posted recv
+            posted: _PostedRecv
+            if nbytes > posted.max_bytes:
+                exc = RuntimeError(
+                    f"recv buffer too small: {nbytes} > {posted.max_bytes}")
+                peer.cq.push(WorkCompletion(posted.wr_id, "RECV", ok=False, error=exc))
+                self._fail(wr_id, "SEND", exc)
+                return
+            peer.cq.push(WorkCompletion(posted.wr_id, "RECV", ok=True,
+                                        nbytes=nbytes, payload=payload))
+            self.cq.push(WorkCompletion(wr_id, "SEND", ok=True, nbytes=nbytes))
+
+    # -- one-sided verbs ---------------------------------------------------------
+    def post_rdma_read(self, wr_id: Any, remote_rkey: int, remote_offset: int,
+                       nbytes: int, local_mr: Optional[MemoryRegion] = None,
+                       local_offset: int = 0) -> None:
+        """Pull ``nbytes`` from the peer's registered memory.
+
+        The remote *CPU is never involved*: validation happens at the remote
+        HCA, data crosses remote.tx → local.rx, and only the local CQ sees a
+        completion.
+        """
+        err = self._require_rts("rdma_read")
+        if err is not None:
+            self._fail(wr_id, "RDMA_READ", err)
+            return
+        self.sim.spawn(
+            self._do_rdma(wr_id, "RDMA_READ", remote_rkey, remote_offset,
+                          nbytes, local_mr, local_offset),
+            name=f"qp{self.qp_num}.read",
+        )
+
+    def post_rdma_write(self, wr_id: Any, remote_rkey: int, remote_offset: int,
+                        nbytes: int, local_mr: Optional[MemoryRegion] = None,
+                        local_offset: int = 0) -> None:
+        """Push ``nbytes`` into the peer's registered memory (one-sided)."""
+        err = self._require_rts("rdma_write")
+        if err is not None:
+            self._fail(wr_id, "RDMA_WRITE", err)
+            return
+        self.sim.spawn(
+            self._do_rdma(wr_id, "RDMA_WRITE", remote_rkey, remote_offset,
+                          nbytes, local_mr, local_offset),
+            name=f"qp{self.qp_num}.write",
+        )
+
+    def _do_rdma(self, wr_id: Any, opcode: str, rkey: int, roffset: int,
+                 nbytes: int, local_mr: Optional[MemoryRegion],
+                 loffset: int) -> Generator:
+        with self._send_lock.request() as req:
+            yield req
+            peer = self.peer
+            if peer is None:
+                self._fail(wr_id, opcode, RuntimeError("peer gone"))
+                return
+            remote_hca = peer.hca
+            # rkey validation happens in the remote adapter, before any data
+            # moves — a revoked key NAKs the request.
+            try:
+                remote_mr = remote_hca.lookup_rkey(rkey)
+                remote_mr.check_range(roffset, nbytes)
+                if local_mr is not None:
+                    local_mr.check_range(loffset, nbytes)
+            except (RemoteKeyError, ValueError) as exc:
+                yield self.sim.timeout(2 * self.fabric.params.latency)  # NAK RTT
+                self._fail(wr_id, opcode, exc)
+                return
+            if opcode == "RDMA_READ":
+                # Request goes out (latency), data flows remote -> local.
+                yield self.fabric.move(remote_hca.node, self.hca.node, nbytes,
+                                       "rdma_read",
+                                       extra_latency=self.fabric.params.latency)
+                data = remote_mr.read(roffset, nbytes)
+                if local_mr is not None:
+                    local_mr.write(loffset, data, nbytes)
+            else:
+                yield self.fabric.move(self.hca.node, remote_hca.node, nbytes,
+                                       "rdma_write")
+                data = local_mr.read(loffset, nbytes) if local_mr is not None else None
+                remote_mr.write(roffset, data, nbytes)
+            self.cq.push(WorkCompletion(wr_id, opcode, ok=True, nbytes=nbytes))
+
+    def __repr__(self) -> str:
+        return f"<QP {self.qp_num} {self.hca.node} {self.state.name}>"

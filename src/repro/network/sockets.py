@@ -1,0 +1,131 @@
+"""TCP-style reliable, ordered byte-stream connections over a fabric.
+
+Used by the FTB network layer (agent-to-agent links over GigE) and by the
+TCP live-migration baseline (Wang et al. [9], which funnels BLCR images
+through a socket).  Ordering is enforced by serializing sends per direction
+— the moral equivalent of a single TCP stream — on top of the fluid model's
+bandwidth sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Resource, Store
+
+__all__ = ["TcpEndpoint", "TcpConnection", "SocketClosed"]
+
+
+class SocketClosed(Exception):
+    """Operation on a connection whose peer has closed."""
+
+
+_CLOSE = object()  # in-band close marker
+
+
+class _Half:
+    """One direction-aware view of a connection (local node's perspective)."""
+
+    __slots__ = ("conn", "local", "remote", "_inbox", "_send_lock")
+
+    def __init__(self, conn: "TcpConnection", local: str, remote: str,
+                 inbox: Store, send_lock: Resource):
+        self.conn = conn
+        self.local = local
+        self.remote = remote
+        self._inbox = inbox
+        self._send_lock = send_lock
+
+    def send(self, payload: Any, nbytes: float) -> Generator:
+        """Generator: transmit ``nbytes`` carrying ``payload`` to the peer.
+
+        Blocks (in simulated time) for the transfer; delivery order matches
+        send order on this half.
+        """
+        if self.conn.closed:
+            raise SocketClosed(f"{self.conn!r} is closed")
+        with self._send_lock.request() as req:
+            yield req
+            if self.conn.closed:
+                raise SocketClosed(f"{self.conn!r} closed during send")
+            yield self.conn.fabric.transfer(self.local, self.remote, nbytes,
+                                            label=f"tcp:{self.local}->{self.remote}")
+            peer = self.conn._half_at(self.remote, opposite_of=self)
+            yield peer._inbox.put((payload, nbytes))
+
+    def recv(self) -> Generator:
+        """Generator: wait for the next in-order message; returns payload."""
+        item = yield self._inbox.get()
+        if item is _CLOSE:
+            raise SocketClosed(f"{self.conn!r} closed by peer")
+        payload, _nbytes = item
+        return payload
+
+    def recv_event(self) -> Event:
+        """Raw get-event on the inbox, for use inside ``any_of`` waits."""
+        return self._inbox.get()
+
+
+class TcpConnection:
+    """A reliable duplex connection between two fabric nodes."""
+
+    def __init__(self, sim: Simulator, fabric: Any, node_a: str, node_b: str):
+        self.sim = sim
+        self.fabric = fabric
+        self.closed = False
+        self._a = _Half(self, node_a, node_b, Store(sim), Resource(sim, 1))
+        self._b = _Half(self, node_b, node_a, Store(sim), Resource(sim, 1))
+
+    def half(self, node: str) -> _Half:
+        """The view of this connection as seen from ``node``.
+
+        For loopback connections both halves share the node name; use
+        :attr:`a` / :attr:`b` directly in that case.
+        """
+        if node == self._a.local and node == self._b.local:
+            raise ValueError("loopback connection: use .a / .b to disambiguate")
+        if node == self._a.local:
+            return self._a
+        if node == self._b.local:
+            return self._b
+        raise KeyError(f"{node!r} is not an endpoint of {self!r}")
+
+    @property
+    def a(self) -> _Half:
+        return self._a
+
+    @property
+    def b(self) -> _Half:
+        return self._b
+
+    def _half_at(self, node: str, opposite_of: _Half) -> _Half:
+        return self._b if opposite_of is self._a else self._a
+
+    def close(self) -> None:
+        """Close both directions; pending/future recvs raise SocketClosed."""
+        if self.closed:
+            return
+        self.closed = True
+        self._a._inbox.put(_CLOSE)
+        self._b._inbox.put(_CLOSE)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<TcpConnection {self._a.local}<->{self._b.local} {state}>"
+
+
+class TcpEndpoint:
+    """Connection factory bound to one node on a fabric."""
+
+    def __init__(self, sim: Simulator, fabric: Any, node: str):
+        self.sim = sim
+        self.fabric = fabric
+        self.node = node
+        fabric.attach(node)
+
+    def connect(self, remote: "TcpEndpoint") -> Generator:
+        """Generator: three-way handshake, then returns a TcpConnection."""
+        # SYN, SYN-ACK, ACK: 1.5 RTT of wire latency.
+        yield self.sim.timeout(3 * self.fabric.params.latency)
+        return TcpConnection(self.sim, self.fabric, self.node, remote.node)

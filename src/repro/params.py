@@ -1,0 +1,276 @@
+"""Calibrated physical constants for the simulated testbed.
+
+The reproduction runs on a modelled version of the paper's cluster
+(Section IV): 8 compute nodes + 1 spare, two quad-core 2.33 GHz Xeons per
+node, Mellanox MT25208 DDR InfiniBand, a GigE maintenance network carrying
+the FTB, local ext3 disks, and a 4-server PVFS 2.8.1 volume with 1 MB
+stripes.  Every constant below is either a published hardware figure or a
+value fitted against a number the paper reports; the fit provenance is given
+inline.  Changing these does not change any protocol logic — they only set
+the *speeds* of the substrate.
+
+Units: seconds, bytes and bytes/second throughout (MB = 1e6 bytes to match
+the paper's tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+__all__ = [
+    "MB",
+    "IBParams",
+    "GigEParams",
+    "DiskParams",
+    "PVFSParams",
+    "BLCRParams",
+    "LaunchParams",
+    "FTBParams",
+    "MigrationParams",
+    "NPBParams",
+    "Testbed",
+    "DEFAULT_TESTBED",
+    "NPB_TABLE",
+]
+
+#: The paper's tables use decimal megabytes (170.4 MB etc.).
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class IBParams:
+    """Mellanox MT25208 DDR HCA (4x DDR: 16 Gbit/s data rate)."""
+
+    #: Raw unidirectional link bandwidth, bytes/s.  4x DDR = 2 GB/s signal,
+    #: ~1.5 GB/s data after 8b/10b encoding and protocol headers.
+    link_bandwidth: float = 1.5e9
+    #: One-way MTU-sized message latency (verbs level).
+    latency: float = 3e-6
+    #: Per-work-request posting/completion overhead (WQE + CQE handling).
+    wqe_overhead: float = 1.5e-6
+    #: RC queue-pair creation + CM handshake (INIT->RTR->RTS transitions).
+    qp_setup_time: float = 1.2e-3
+    #: Memory-region registration cost per MB (page pinning is the driver).
+    mr_register_per_mb: float = 1.0e-4
+    #: Fixed memory-region registration cost.
+    mr_register_base: float = 3.0e-5
+    #: Effective bandwidth of the aggregated checkpoint pipeline
+    #: (kernel-space chunk fill + RDMA Read pull, 1 MB chunks).  Fitted so
+    #: Phase 2 lands at 0.4-0.8 s for 170-309 MB (paper Sec. IV-A):
+    #: 170.4 MB / 0.42 s ~= 406 MB/s; 308.8 / 0.77 ~= 400 MB/s.
+    migration_pipeline_bandwidth: float = 4.5e8
+
+
+@dataclass(frozen=True)
+class GigEParams:
+    """Gigabit Ethernet maintenance network (FTB + TCP baselines)."""
+
+    link_bandwidth: float = 1.18e8  # ~118 MB/s on the wire after TCP overhead
+    latency: float = 60e-6
+    #: Per-byte CPU cost of the socket stack (two memory copies); this is
+    #: the penalty the paper holds against TCP-based live migration.
+    copy_cost_per_byte: float = 1.0 / 8e8
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Local SATA disk with ext3.
+
+    Fit (paper Sec. IV-C, checkpoint to local ext3, 8 writers/node):
+    LU 170.4 MB/node in 6.4 s, BT 308.8 MB/node in 7.5 s
+    => marginal rate ~= 126 MB/s, fixed ~= 5.0 s/node.
+    The fixed part is modelled as per-stream journal/fsync cost serialized
+    on the journal (8 x ~0.62 s); the marginal part as the streaming write
+    rate under 8-way interleave.
+    """
+
+    write_bandwidth: float = 1.26e8
+    #: Cold sequential read rate per stream set; fitted to restart numbers:
+    #: BT restart(ext3) 9.1 s for 308.8 MB/node => ~34 MB/s at 8 streams;
+    #: the stream-degradation curve below brings an 80 MB/s disk to that.
+    read_bandwidth: float = 8.0e7
+    #: Journaled fsync/close of a multi-MB file; serialized on the journal.
+    sync_cost: float = 0.62
+    #: File open/create metadata cost.
+    open_cost: float = 2e-3
+    #: Multiplicative efficiency as a function of concurrent streams,
+    #: modelling seek thrash between interleaved streams (cf. PLFS [23]).
+    read_efficiency: Dict[str, float] = field(
+        default_factory=lambda: {"base": 1.0, "per_stream": 0.072, "floor": 0.42}
+    )
+
+
+@dataclass(frozen=True)
+class PVFSParams:
+    """PVFS 2.8.1 over IB transport: 4 data+metadata servers, 1 MB stripes.
+
+    Fit (paper Sec. IV-C): checkpoint LU 1363 MB in 16.3 s, BT 2470 MB in
+    23.4 s => effective aggregate write rate ~85-105 MB/s under 64-stream
+    contention (metadata create/sync serialization overlaps with the data
+    streams of other writers, so it contributes only a small ramp/tail).
+    Restart reads land at ~123-133 MB/s aggregate.  With 4 servers the
+    floors below give 4*78*0.32 ~= 100 MB/s writes and 4*65*0.49 ~= 127 MB/s
+    reads at full contention.
+    """
+
+    n_servers: int = 4
+    stripe_size: int = 1 * MB
+    #: Per-server streaming write rate before contention degradation.
+    server_write_bandwidth: float = 7.8e7
+    #: Per-server read rate before degradation.
+    server_read_bandwidth: float = 6.5e7
+    #: Contention degradation: efficiency floor once many streams interleave
+    #: on one server (the 64-client-stream regime of Figure 7).
+    write_efficiency_floor: float = 0.32
+    read_efficiency_floor: float = 0.49
+    efficiency_per_stream: float = 0.035
+    #: Per-client single-stream ceiling (request pipelining, client-side
+    #: buffer copies): one PVFS stream on DDR-era hardware peaked around
+    #: 120 MB/s even though 4 servers could aggregate ~300 MB/s.
+    client_stream_bandwidth: float = 1.2e8
+    #: Metadata ops are serialized at the metadata servers.
+    create_cost: float = 0.050
+    sync_cost: float = 0.058
+
+
+@dataclass(frozen=True)
+class BLCRParams:
+    """Berkeley Lab Checkpoint/Restart engine costs (extended BLCR 0.8.0)."""
+
+    #: Per-process quiesce + kernel entry when initiating a checkpoint.
+    checkpoint_proc_overhead: float = 0.010
+    #: Rate at which a single checkpointing process emits image bytes
+    #: (dirty-page walk + copy into the destination buffer).
+    image_scan_bandwidth: float = 8.0e8
+    #: Aggregate memory-bus ceiling when several processes scan at once.
+    node_memory_bandwidth: float = 2.4e9
+    #: Per-process restart fixed cost (fork, address-space rebuild, fd
+    #: restore) excluding image read time.
+    restart_proc_overhead: float = 0.055
+    #: Memory-based restart (future-work extension): image already resident
+    #: in the buffer pool, so restore runs at memcpy speed.
+    memory_restart_bandwidth: float = 1.6e9
+
+
+@dataclass(frozen=True)
+class LaunchParams:
+    """mpirun_rsh-style Job Manager + Node Launch Agents (ScELA tree)."""
+
+    #: Launching one process via an NLA (fork/exec + environment setup).
+    proc_launch_cost: float = 0.012
+    #: NLA startup on a node.
+    nla_startup_cost: float = 0.040
+    #: PMI endpoint-exchange handling per rank, serialized at the Job
+    #: Manager root.  Fitted to Phase 4 ~= 1.5 s at 64 ranks
+    #: (paper Sec. IV-A: resume "relatively constant" per task scale).
+    pmi_exchange_per_rank: float = 0.020
+    #: Rebuilding the mpispawn tree after a topology change (Phase 3).
+    tree_repair_cost: float = 0.025
+    #: Handling one rank's stall-complete report at the (single-threaded)
+    #: Job Manager; 64 ranks x 0.5 ms puts Phase 1 in the tens of
+    #: milliseconds the paper reports.
+    report_handling_cost: float = 5.0e-4
+
+
+@dataclass(frozen=True)
+class FTBParams:
+    """Fault Tolerance Backplane message-path costs (runs over GigE)."""
+
+    #: Client -> local agent handoff.
+    publish_cost: float = 3e-4
+    #: Per-hop routing/matching cost inside an agent.
+    route_cost: float = 4e-4
+    #: Agent reconnection to a new parent after a failure.
+    reconnect_cost: float = 0.050
+
+
+@dataclass(frozen=True)
+class MigrationParams:
+    """RDMA-based migration engine configuration (paper Sec. III-B)."""
+
+    buffer_pool_size: int = 10 * MB
+    chunk_size: int = 1 * MB
+    #: Per-chunk RDMA-Read request/reply control message cost (IB send).
+    chunk_request_overhead: float = 3.0e-5
+    #: Writing reassembled chunks into target temp files goes through the
+    #: page cache; the *restart* read-back is the expensive part.  Fitted to
+    #: Phase 3: LU 170.4 MB -> ~4.3 s, BT 308.8 MB -> ~8.0 s at 8 streams.
+    tmpfile_write_bandwidth: float = 9.0e8
+
+
+@dataclass(frozen=True)
+class NPBParams:
+    """One NAS Parallel Benchmark pseudo-application (class-specific).
+
+    Memory model (fitted to Table I image sizes at 64 ranks):
+        image_bytes(n) = resident_base + app_memory / n
+    Runtime model (fitted to Figure 5 base runtimes via overhead %):
+        per-iteration work = serial_work / n   (strong scaling)
+    """
+
+    name: str = "LU"
+    klass: str = "C"
+    iterations: int = 250
+    #: Total application memory across ranks (bytes).
+    app_memory: float = 1043.2 * MB
+    #: Per-process resident overhead (runtime, buffers, code), bytes.
+    resident_base: float = 5.0 * MB
+    #: Aggregate compute seconds per iteration (divided over ranks).
+    serial_work_per_iter: float = 40.9
+    #: Communication pattern: "wavefront" (LU) or "multipartition" (BT/SP).
+    comm_pattern: str = "wavefront"
+    #: Bytes exchanged per rank per iteration with each neighbour.
+    comm_bytes_per_iter: float = 0.20 * MB
+
+    def image_bytes(self, nprocs: int) -> float:
+        """Checkpoint image size of one rank at the given job size."""
+        return self.resident_base + self.app_memory / nprocs
+
+    def iteration_compute_time(self, nprocs: int) -> float:
+        return self.serial_work_per_iter / nprocs
+
+
+#: NPB class C instances used throughout the evaluation.  Image sizes follow
+#: Table I exactly (LU.C.64 -> 21.3 MB/rank, BT -> 38.6, SP -> 37.9); the
+#: serial work terms put the no-migration runtimes near the Figure 5 bars
+#: (LU ~162 s, BT ~158 s, SP ~212 s at 64 ranks).
+NPB_TABLE: Dict[str, NPBParams] = {
+    "LU.C": NPBParams(
+        name="LU", klass="C", iterations=250,
+        app_memory=1043.2 * MB, resident_base=5.0 * MB,
+        serial_work_per_iter=40.9, comm_pattern="wavefront",
+        comm_bytes_per_iter=0.20 * MB,
+    ),
+    "BT.C": NPBParams(
+        name="BT", klass="C", iterations=200,
+        app_memory=2150.4 * MB, resident_base=5.0 * MB,
+        serial_work_per_iter=49.9, comm_pattern="multipartition",
+        comm_bytes_per_iter=0.55 * MB,
+    ),
+    "SP.C": NPBParams(
+        name="SP", klass="C", iterations=400,
+        app_memory=2105.6 * MB, resident_base=5.0 * MB,
+        serial_work_per_iter=33.5, comm_pattern="multipartition",
+        comm_bytes_per_iter=0.30 * MB,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """Bundle of all physical constants for one simulated cluster."""
+
+    ib: IBParams = field(default_factory=IBParams)
+    gige: GigEParams = field(default_factory=GigEParams)
+    disk: DiskParams = field(default_factory=DiskParams)
+    pvfs: PVFSParams = field(default_factory=PVFSParams)
+    blcr: BLCRParams = field(default_factory=BLCRParams)
+    launch: LaunchParams = field(default_factory=LaunchParams)
+    ftb: FTBParams = field(default_factory=FTBParams)
+    migration: MigrationParams = field(default_factory=MigrationParams)
+    cores_per_node: int = 8
+    memory_per_node: float = 8e9
+
+
+DEFAULT_TESTBED = Testbed()

@@ -1,0 +1,6 @@
+"""Cluster-level batch scheduling model (the paper's throughput argument)."""
+
+from .jobs import BatchJobSpec, JobRecord, JobState
+from .scheduler import BatchScheduler
+
+__all__ = ["BatchJobSpec", "JobRecord", "JobState", "BatchScheduler"]

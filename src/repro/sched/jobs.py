@@ -1,0 +1,86 @@
+"""Batch jobs for the cluster-throughput study.
+
+The paper's introduction argues that reactive Checkpoint/Restart hurts the
+*whole cluster*: "the entire application has to be aborted even if only one
+node fails.  This application is then re-submitted to the job scheduler to
+go through the lengthy queuing latency.  As a consequence, the throughput
+of the computer cluster as a whole degrades significantly."
+
+These classes model jobs at the granularity that claim lives at: a job is
+an amount of useful work on a set of nodes, checkpointing periodically,
+occasionally hit by node failures.  (The node-level protocol detail lives
+in :mod:`repro.core`; the per-operation costs used here are the ones that
+layer measures.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+__all__ = ["JobState", "BatchJobSpec", "JobRecord"]
+
+
+class JobState(Enum):
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+
+
+@dataclass(frozen=True)
+class BatchJobSpec:
+    """Static description of one submitted job."""
+
+    name: str
+    n_nodes: int
+    work_seconds: float
+    submit_time: float
+    #: Interval between coordinated checkpoints while running.
+    checkpoint_interval: float = 1800.0
+    #: Cost of one coordinated checkpoint (e.g. CR-to-PVFS, measured).
+    checkpoint_cost: float = 26.5
+    #: Cost to restart from the last checkpoint once rescheduled.
+    restart_cost: float = 12.0
+    #: Cost of one proactive migration (paper: ~6.3 s).
+    migration_cost: float = 6.3
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.work_seconds <= 0:
+            raise ValueError("work_seconds must be positive")
+
+
+@dataclass
+class JobRecord:
+    """Mutable bookkeeping for one job across its life."""
+
+    spec: BatchJobSpec
+    state: JobState = JobState.QUEUED
+    nodes: List[str] = field(default_factory=list)
+    useful_done: float = 0.0
+    since_checkpoint: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    first_start_at: Optional[float] = None
+    n_requeues: int = 0
+    n_migrations: int = 0
+    n_rollbacks: int = 0
+    queue_wait: float = 0.0
+    #: Set after a rollback: the next run starts by restoring the image.
+    pending_restart: bool = False
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.spec.work_seconds - self.useful_done)
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.spec.submit_time
+
+    def __repr__(self) -> str:
+        return (f"<Job {self.spec.name} {self.state.value} "
+                f"{self.useful_done:.0f}/{self.spec.work_seconds:.0f}s>")

@@ -1,0 +1,44 @@
+"""From-scratch discrete-event simulation kernel used by every substrate.
+
+Public surface::
+
+    from repro.simulate import Simulator, Interrupt, Resource, Store
+
+See :mod:`repro.simulate.core` for the execution model.
+"""
+
+from .conditions import AllOf, AnyOf, Condition, ConditionValue
+from .core import (
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Container, PriorityStore, Resource, Store
+from .rng import RandomStreams
+from .trace import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "Condition",
+    "ConditionValue",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Store",
+    "PriorityStore",
+    "Container",
+    "RandomStreams",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,124 @@
+"""Composite wait conditions: wait for *any* or *all* of a set of events.
+
+Used pervasively by the migration protocol, e.g. "wait until every rank has
+entered the migration barrier" (:class:`AllOf`) or "wait for either a chunk
+arrival or a shutdown notice" (:class:`AnyOf`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .core import Event, PENDING, Simulator
+
+__all__ = ["Condition", "AnyOf", "AllOf", "ConditionValue"]
+
+
+class ConditionValue:
+    """Ordered mapping from the *triggered* constituent events to their values.
+
+    Behaves like a read-only dict keyed by event object, in the original
+    event order.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def values(self) -> List[Any]:
+        return [ev._value for ev in self.events]
+
+    def todict(self) -> Dict[Event, Any]:
+        return {ev: ev._value for ev in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Base composite event; subclasses define when it is satisfied."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, sim: Simulator, events: List[Event], name: str = "Condition"):
+        super().__init__(sim, name=name)
+        self._events = list(events)
+        self._done = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        if self._satisfied():
+            # Degenerate case (e.g. AllOf([])) — trigger straight away.
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+                if self.triggered:
+                    return
+            else:
+                ev.callbacks.append(self._check)
+
+    # hooks ----------------------------------------------------------------
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> ConditionValue:
+        value = ConditionValue()
+        for ev in self._events:
+            # A Timeout carries its value from birth, so "triggered" would
+            # over-collect; only events whose callbacks already ran count.
+            if ev.processed:
+                value.events.append(ev)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True  # condition already resolved; absorb
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one constituent event succeeds."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, events: List[Event]):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _satisfied(self) -> bool:
+        return len(self._events) == 0 or self._done >= 1
+
+
+class AllOf(Condition):
+    """Triggers once every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, events: List[Event]):
+        super().__init__(sim, events, name="AllOf")
+
+    def _satisfied(self) -> bool:
+        return self._done == len(self._events)

@@ -1,0 +1,87 @@
+"""Structured tracing of simulation activity.
+
+A :class:`Tracer` collects ``TraceRecord`` tuples that the analysis layer
+turns into phase decompositions (Figure 4/6/7) and byte accounting
+(Table I).  Tracing is opt-in: components call ``trace(...)`` through a
+no-op guard so untraced runs pay almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation."""
+
+    time: float
+    kind: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def __getitem__(self, key: str) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+class Tracer:
+    """Append-only in-memory trace with kind-indexed retrieval."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        rec = TraceRecord(time, kind, tuple(fields.items()))
+        self.records.append(rec)
+        self._by_kind.setdefault(kind, []).append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Register a live callback invoked on every new record."""
+        self._subscribers.append(fn)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return list(self._by_kind.get(kind, []))
+
+    def kinds(self) -> List[str]:
+        return sorted(self._by_kind)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def between(self, t0: float, t1: float, kind: Optional[str] = None) -> List[TraceRecord]:
+        src = self._by_kind.get(kind, []) if kind is not None else self.records
+        return [r for r in src if t0 <= r.time <= t1]
+
+
+class NullTracer:
+    """Drop-in tracer that discards everything (the fast default)."""
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        pass
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return []
+
+    def __len__(self) -> int:
+        return 0

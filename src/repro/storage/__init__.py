@@ -1,0 +1,29 @@
+"""Storage substrates: local disks with ext3 semantics, page cache, PVFS.
+
+The two checkpoint destinations of the paper's Figure 7 live here:
+``LocalFS`` (ext3 with journal-commit fsync) and ``PVFS`` (striped parallel
+FS over IB with server-side contention).
+"""
+
+from .buffer_cache import BufferCache
+from .disk import Disk
+from .filesystem import (
+    FileExists,
+    FileHandle,
+    FileNotFoundInFS,
+    LocalFS,
+    SimFile,
+)
+from .pvfs import PVFS, PVFSServer
+
+__all__ = [
+    "Disk",
+    "BufferCache",
+    "LocalFS",
+    "SimFile",
+    "FileHandle",
+    "FileNotFoundInFS",
+    "FileExists",
+    "PVFS",
+    "PVFSServer",
+]

@@ -1,0 +1,76 @@
+"""Page-cache model: write absorption with dirty throttling and writeback.
+
+Writes land in memory at memory-copy speed; a background flusher drains
+dirty bytes to the disk's write link.  When dirty bytes exceed the cache
+capacity (the kernel's dirty threshold), writers are throttled until the
+flusher catches up — so small bursts are memory-speed while sustained
+streams converge to disk speed.
+
+The migration target uses this to absorb reassembled chunk writes during
+Phase 2 (no fsync, hence RDMA-rate), while the Checkpoint/Restart strategy
+fsyncs its files and therefore always pays the disk.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Container
+from .disk import Disk
+
+__all__ = ["BufferCache"]
+
+
+class BufferCache:
+    """Dirty-page accounting in front of one :class:`Disk`."""
+
+    def __init__(self, sim: Simulator, disk: Disk,
+                 capacity_bytes: float = 400e6,
+                 memory_bandwidth: float = 2.4e9):
+        self.sim = sim
+        self.disk = disk
+        self.memory_bandwidth = memory_bandwidth
+        #: Dirty headroom: writers get() from it, the flusher put()s back.
+        self._headroom = Container(sim, capacity=capacity_bytes,
+                                   init=capacity_bytes)
+        self.capacity = capacity_bytes
+        self._pending_flush_events: list = []
+
+    @property
+    def dirty_bytes(self) -> float:
+        return self.capacity - self._headroom.level
+
+    def write(self, nbytes: float, label: str = "") -> Generator:
+        """Generator: buffered write of ``nbytes``.
+
+        Returns once the data is in cache (memory speed), throttling if the
+        dirty threshold is hit.  Writeback to disk proceeds asynchronously.
+        """
+        remaining = nbytes
+        # Chunk the reservation so a single huge write cannot deadlock on a
+        # cache smaller than itself.
+        step = max(1.0, min(self.capacity / 4, remaining))
+        while remaining > 0:
+            take = min(step, remaining)
+            yield self._headroom.get(take)  # throttle on dirty threshold
+            yield self.sim.timeout(take / self.memory_bandwidth)
+            done = self.disk.write_stream(take, label=label or "writeback")
+            done.callbacks.append(self._make_release(take))
+            self._pending_flush_events.append(done)
+            remaining -= take
+
+    def _make_release(self, amount: float):
+        def _release(_ev) -> None:
+            self._headroom.put(amount)
+
+        return _release
+
+    def flush(self) -> Generator:
+        """Generator: wait until every writeback issued so far has landed."""
+        pending = [ev for ev in self._pending_flush_events if not ev.processed]
+        self._pending_flush_events = pending
+        if pending:
+            yield self.sim.all_of(list(pending))
+        else:
+            yield self.sim.timeout(0)

@@ -1,0 +1,64 @@
+"""Local disk model: streaming bandwidth, stream-count degradation, journal.
+
+A :class:`Disk` exposes two fluid capacity pools (duplex approximation:
+writes and reads are modelled on separate links so calibration against the
+paper's write and read rates stays independent) plus a journal lock that
+serializes fsync commits — the dominant fixed cost of checkpointing to ext3
+(8 concurrent checkpoint files x ~0.6 s journal commit each ~= the ~5 s
+fixed term fitted in :mod:`repro.params`).
+
+Read capacity degrades with concurrent streams (seek thrash between
+interleaved files), which is what makes the file-based restart of Phase 3
+the dominant migration cost in Figures 4 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..params import DiskParams
+from ..simulate.core import Event, Simulator
+from ..simulate.resources import Resource
+from ..network.fluid import FluidNetwork, Link, stream_efficiency
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """One node's local disk."""
+
+    def __init__(self, sim: Simulator, node: str,
+                 params: Optional[DiskParams] = None,
+                 net: Optional[FluidNetwork] = None):
+        self.sim = sim
+        self.node = node
+        self.params = params or DiskParams()
+        self.net = net or FluidNetwork(sim)
+        eff = self.params.read_efficiency
+        self.write_link = Link(f"disk.{node}.write", self.params.write_bandwidth)
+        self.read_link = Link(
+            f"disk.{node}.read", self.params.read_bandwidth,
+            efficiency=stream_efficiency(eff["per_stream"], eff["floor"]),
+        )
+        #: Serializes journal commits (fsync).
+        self.journal = Resource(sim, capacity=1)
+        self.bytes_written: float = 0.0
+        self.bytes_read: float = 0.0
+
+    def write_stream(self, nbytes: float, label: str = "") -> Event:
+        """Stream ``nbytes`` to the platter (no journal commit)."""
+        self.bytes_written += nbytes
+        return self.net.transfer([self.write_link], nbytes,
+                                 label=label or f"disk.{self.node}.write")
+
+    def read_stream(self, nbytes: float, label: str = "") -> Event:
+        """Stream ``nbytes`` off the platter (cold read)."""
+        self.bytes_read += nbytes
+        return self.net.transfer([self.read_link], nbytes,
+                                 label=label or f"disk.{self.node}.read")
+
+    def sync(self) -> Generator:
+        """Generator: one journal commit (serialized across callers)."""
+        with self.journal.request() as req:
+            yield req
+            yield self.sim.timeout(self.params.sync_cost)

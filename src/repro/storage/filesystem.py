@@ -1,0 +1,193 @@
+"""Local (ext3-style) filesystem on top of :class:`~repro.storage.disk.Disk`.
+
+Two write paths mirror the two strategies in the paper:
+
+* ``write(..., through_cache=True)`` — buffered write absorbed by the page
+  cache (used by the migration target for temporary chunk files; no fsync,
+  so Phase 2 runs at RDMA rate, not disk rate);
+* ``fsync`` — flush dirty data and commit the journal (used by the
+  Checkpoint/Restart strategy, whose images must be durable).
+
+Files optionally record real bytes (``record_data=True``) so the test suite
+can assert byte-exact checkpoint reassembly; benchmark configurations leave
+it off and only track sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..params import DiskParams
+from ..simulate.core import Simulator
+from .buffer_cache import BufferCache
+from .disk import Disk
+
+__all__ = ["LocalFS", "SimFile", "FileHandle", "FileNotFoundInFS", "FileExists"]
+
+
+class FileNotFoundInFS(Exception):
+    """open()/read() on a path that does not exist."""
+
+
+class FileExists(Exception):
+    """create() on a path that already exists."""
+
+
+class SimFile:
+    """Metadata (and optionally contents) of one simulated file."""
+
+    __slots__ = ("path", "size", "data")
+
+    def __init__(self, path: str, record_data: bool):
+        self.path = path
+        self.size = 0
+        self.data: Optional[bytearray] = bytearray() if record_data else None
+
+    def append(self, nbytes: int, payload: Optional[np.ndarray]) -> None:
+        self.size += nbytes
+        if self.data is not None:
+            if payload is not None:
+                self.data.extend(payload.tobytes())
+            else:
+                self.data.extend(b"\x00" * nbytes)
+
+    def write_at(self, offset: int, nbytes: int,
+                 payload: Optional[np.ndarray]) -> None:
+        end = offset + nbytes
+        self.size = max(self.size, end)
+        if self.data is not None:
+            if len(self.data) < end:
+                self.data.extend(b"\x00" * (end - len(self.data)))
+            if payload is not None:
+                self.data[offset:end] = payload.tobytes()
+
+    def read_at(self, offset: int, nbytes: int) -> Optional[np.ndarray]:
+        if self.data is None:
+            return None
+        return np.frombuffer(bytes(self.data[offset:offset + nbytes]),
+                             dtype=np.uint8).copy()
+
+
+class FileHandle:
+    """An open file; tracks a position for sequential I/O."""
+
+    __slots__ = ("fs", "file", "pos", "closed")
+
+    def __init__(self, fs: object, file: SimFile):
+        self.fs = fs
+        self.file = file
+        self.pos = 0
+        self.closed = False
+
+    def _check(self) -> None:
+        if self.closed:
+            raise ValueError(f"I/O on closed handle for {self.file.path!r}")
+
+    def __repr__(self) -> str:
+        return f"<FileHandle {self.file.path} pos={self.pos}>"
+
+
+class LocalFS:
+    """One node's local filesystem."""
+
+    def __init__(self, sim: Simulator, disk: Disk,
+                 cache: Optional[BufferCache] = None,
+                 params: Optional[DiskParams] = None,
+                 record_data: bool = False):
+        self.sim = sim
+        self.disk = disk
+        self.cache = cache if cache is not None else BufferCache(sim, disk)
+        self.params = params or disk.params
+        self.record_data = record_data
+        self.files: Dict[str, SimFile] = {}
+
+    # -- namespace ----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def size(self, path: str) -> int:
+        return self._lookup(path).size
+
+    def unlink(self, path: str) -> None:
+        self._lookup(path)
+        del self.files[path]
+
+    def listdir(self, prefix: str = "") -> list:
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    def _lookup(self, path: str) -> SimFile:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FileNotFoundInFS(f"{path!r} on {self.disk.node}") from None
+
+    # -- open/create -------------------------------------------------------
+    def create(self, path: str) -> Generator:
+        """Generator: create a new file; returns a FileHandle.
+
+        Creation is atomic: the name is reserved *before* the metadata cost
+        is charged, so two concurrent creators cannot both succeed (the
+        second raises FileExists immediately, as a real VFS would).
+        """
+        if path in self.files:
+            raise FileExists(path)
+        f = SimFile(path, self.record_data)
+        self.files[path] = f
+        yield self.sim.timeout(self.params.open_cost)
+        return FileHandle(self, f)
+
+    def open(self, path: str) -> Generator:
+        """Generator: open an existing file; returns a FileHandle."""
+        f = self._lookup(path)
+        yield self.sim.timeout(self.params.open_cost)
+        return FileHandle(self, f)
+
+    # -- data ----------------------------------------------------------------
+    def write(self, handle: FileHandle, nbytes: int,
+              data: Optional[np.ndarray] = None,
+              through_cache: bool = True,
+              offset: Optional[int] = None) -> Generator:
+        """Generator: write at the handle position (or an explicit
+        ``offset``, which leaves the position untouched — used for
+        out-of-order chunk reassembly at the migration target)."""
+        handle._check()
+        if data is not None and data.nbytes != nbytes:
+            raise ValueError(f"data has {data.nbytes} bytes, expected {nbytes}")
+        if through_cache:
+            yield from self.cache.write(nbytes, label=f"fs:{handle.file.path}")
+        else:
+            yield self.disk.write_stream(nbytes, label=f"fs:{handle.file.path}")
+        if offset is None:
+            handle.file.write_at(handle.pos, nbytes, data)
+            handle.pos += nbytes
+        else:
+            handle.file.write_at(offset, nbytes, data)
+
+    def read(self, handle: FileHandle, nbytes: Optional[int] = None,
+             offset: Optional[int] = None) -> Generator:
+        """Generator: cold read; returns bytes when the FS records data."""
+        handle._check()
+        pos = handle.pos if offset is None else offset
+        n = handle.file.size - pos if nbytes is None else nbytes
+        if pos + n > handle.file.size:
+            raise ValueError(
+                f"read past EOF: [{pos}, {pos + n}) of {handle.file.size}")
+        yield self.disk.read_stream(n, label=f"fs:{handle.file.path}")
+        if offset is None:
+            handle.pos += n
+        return handle.file.read_at(pos, n)
+
+    def fsync(self, handle: FileHandle) -> Generator:
+        """Generator: flush dirty pages and commit the journal."""
+        handle._check()
+        yield from self.cache.flush()
+        yield from self.disk.sync()
+
+    def close(self, handle: FileHandle, sync: bool = False) -> Generator:
+        if sync:
+            yield from self.fsync(handle)
+        else:
+            yield self.sim.timeout(0)
+        handle.closed = True

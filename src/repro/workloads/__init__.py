@@ -1,0 +1,7 @@
+"""Workloads: NPB pseudo-applications and synthetic stress patterns."""
+
+from .npb import NPBApplication, grid_shape
+from .synthetic import AllToAllChatter, ComputeOnly, HaloExchange
+
+__all__ = ["NPBApplication", "grid_shape", "ComputeOnly", "HaloExchange",
+           "AllToAllChatter"]

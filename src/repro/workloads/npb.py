@@ -1,0 +1,141 @@
+"""NAS Parallel Benchmark pseudo-applications (LU, BT, SP).
+
+These are *skeletons*: iteration-structured programs with the memory
+footprints and communication patterns of the real codes, calibrated in
+:mod:`repro.params` so that class-C 64-rank runs match the paper's image
+sizes (Table I) and baseline runtimes (Figure 5).  The migration framework
+only observes a workload through its communication activity and its memory
+image — both of which the skeletons model — so they exercise the identical
+code paths the real NPB binaries would.
+
+Patterns:
+
+* **wavefront** (LU): 2-D pencil decomposition; each sweep exchanges faces
+  with the east/south neighbours and receives from west/north;
+* **multipartition** (BT/SP): exchanges along two ring dimensions per
+  iteration with larger faces.
+
+Every ``residual_interval`` iterations the ranks run an allreduce (the
+residual/norm check of the real codes), which keeps them loosely synchronous
+— the property that makes one node's migration stall the whole job, as the
+paper's Figure 5 overhead numbers reflect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List, Optional
+
+from ..params import NPBParams, NPB_TABLE
+from ..cluster.node import Cluster
+from ..mpi.job import MPIJob
+from ..mpi.rank import MPIRank
+from ..simulate.core import Simulator
+
+__all__ = ["NPBApplication", "grid_shape"]
+
+RESIDUAL_INTERVAL = 20
+
+
+def grid_shape(n: int) -> tuple:
+    """Largest factor pair (px, py) with px <= py and px * py == n."""
+    px = int(math.isqrt(n))
+    while n % px != 0:
+        px -= 1
+    return px, n // px
+
+
+class NPBApplication:
+    """One configured pseudo-application instance."""
+
+    def __init__(self, params: NPBParams, nprocs: int,
+                 iterations: Optional[int] = None):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.params = params
+        self.nprocs = nprocs
+        self.iterations = iterations if iterations is not None else params.iterations
+        self.px, self.py = grid_shape(nprocs)
+
+    @classmethod
+    def named(cls, name: str, nprocs: int,
+              iterations: Optional[int] = None) -> "NPBApplication":
+        """Build from the calibrated table, e.g. ``named("LU.C", 64)``."""
+        try:
+            params = NPB_TABLE[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown NPB instance {name!r}; have {sorted(NPB_TABLE)}"
+            ) from None
+        return cls(params, nprocs, iterations)
+
+    # -- sizing --------------------------------------------------------------
+    @property
+    def image_bytes_per_rank(self) -> float:
+        return self.params.image_bytes(self.nprocs)
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.params.iteration_compute_time(self.nprocs)
+
+    def expected_runtime(self) -> float:
+        """Compute-only lower bound on the run time (no comm, no stalls)."""
+        return self.iterations * self.iteration_seconds
+
+    # -- neighbour topology -------------------------------------------------------
+    def neighbours(self, rank: int) -> List[tuple]:
+        """(send_to, recv_from) pairs for one iteration of this pattern."""
+        n = self.nprocs
+        if n == 1:
+            return []
+        if self.params.comm_pattern == "wavefront":
+            x, y = rank % self.px, rank // self.px
+            pairs = []
+            if self.px > 1:  # east/west along x
+                east = (x + 1) % self.px + y * self.px
+                west = (x - 1) % self.px + y * self.px
+                pairs.append((east, west))
+            if self.py > 1:  # south/north along y
+                south = x + ((y + 1) % self.py) * self.px
+                north = x + ((y - 1) % self.py) * self.px
+                pairs.append((south, north))
+            return pairs
+        # multipartition: two ring dimensions, stride 1 and stride px.
+        pairs = [((rank + 1) % n, (rank - 1) % n)]
+        if self.px > 1:
+            pairs.append(((rank + self.px) % n, (rank - self.px) % n))
+        return pairs
+
+    # -- the program ------------------------------------------------------------
+    def rank_main(self, rank: MPIRank) -> Generator:
+        """The per-rank main program (pass to :meth:`MPIJob.start`)."""
+        nbytes = int(self.params.comm_bytes_per_iter)
+        rank.osproc.app_state.setdefault("iteration", 0)
+        rank.osproc.app_state["app"] = f"{self.params.name}.{self.params.klass}"
+        for it in range(rank.osproc.app_state["iteration"], self.iterations):
+            yield from rank.compute(self.iteration_seconds)
+            # The solver rewrites its solution arrays every sweep: heap and
+            # stack re-dirty each iteration (text/data stay clean), which
+            # is why incremental checkpointing buys little for NPB codes.
+            rank.osproc.touch(["heap", "stack"])
+            for d, (send_to, recv_from) in enumerate(self.neighbours(rank.rank)):
+                tag = ("it", it, d)
+                yield from rank.send(send_to, nbytes, tag)
+                yield from rank.recv(src=recv_from, tag=tag)
+            rank.osproc.app_state["iteration"] = it + 1
+            if (it + 1) % RESIDUAL_INTERVAL == 0:
+                yield from rank.allreduce(1.0 / self.nprocs,
+                                          lambda a, b: a + b, nbytes=8)
+        return rank.osproc.app_state["iteration"]
+
+    # -- job construction ---------------------------------------------------------
+    def make_job(self, sim: Simulator, cluster: Cluster,
+                 record_data: bool = False) -> MPIJob:
+        return MPIJob(sim, cluster, self.nprocs,
+                      image_bytes_per_rank=self.image_bytes_per_rank,
+                      record_data=record_data,
+                      name=f"{self.params.name}.{self.params.klass}.{self.nprocs}")
+
+    def __repr__(self) -> str:
+        return (f"<NPB {self.params.name}.{self.params.klass} "
+                f"nprocs={self.nprocs} iters={self.iterations}>")

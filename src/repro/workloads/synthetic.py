@@ -1,0 +1,67 @@
+"""Parameterizable synthetic workloads for tests and ablations."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..mpi.rank import MPIRank
+
+__all__ = ["ComputeOnly", "HaloExchange", "AllToAllChatter"]
+
+
+class ComputeOnly:
+    """Pure compute: no communication at all (isolates stall cost)."""
+
+    def __init__(self, total_seconds: float, slice_seconds: float = 0.25):
+        self.total_seconds = total_seconds
+        self.slice_seconds = slice_seconds
+
+    def rank_main(self, rank: MPIRank) -> Generator:
+        remaining = self.total_seconds
+        while remaining > 0:
+            step = min(self.slice_seconds, remaining)
+            yield from rank.compute(step)
+            remaining -= step
+
+
+class HaloExchange:
+    """1-D ring halo exchange: fixed iterations, fixed message size."""
+
+    def __init__(self, iterations: int, nbytes: int = 65536,
+                 compute_seconds: float = 0.01):
+        self.iterations = iterations
+        self.nbytes = nbytes
+        self.compute_seconds = compute_seconds
+
+    def rank_main(self, rank: MPIRank) -> Generator:
+        n = rank.job.nprocs
+        for it in range(self.iterations):
+            yield from rank.compute(self.compute_seconds)
+            if n > 1:
+                yield from rank.send((rank.rank + 1) % n, self.nbytes,
+                                     ("halo", it))
+                yield from rank.recv(src=(rank.rank - 1) % n, tag=("halo", it))
+
+
+class AllToAllChatter:
+    """Dense communication: every rank messages every other each round.
+
+    Stresses the drain protocol with many simultaneously active channels.
+    """
+
+    def __init__(self, rounds: int, nbytes: int = 4096,
+                 compute_seconds: float = 0.002):
+        self.rounds = rounds
+        self.nbytes = nbytes
+        self.compute_seconds = compute_seconds
+
+    def rank_main(self, rank: MPIRank) -> Generator:
+        n = rank.job.nprocs
+        for rnd in range(self.rounds):
+            yield from rank.compute(self.compute_seconds)
+            for peer in range(n):
+                if peer != rank.rank:
+                    yield from rank.send(peer, self.nbytes, ("a2a", rnd, rank.rank))
+            for peer in range(n):
+                if peer != rank.rank:
+                    yield from rank.recv(src=peer, tag=("a2a", rnd, peer))

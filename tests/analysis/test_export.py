@@ -1,0 +1,76 @@
+"""Tests for report export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import Scenario
+from repro.analysis.export import (
+    checkpoint_report_dict,
+    migration_report_dict,
+    reports_to_json,
+    rows_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def real_reports():
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=6, with_pvfs=True)
+    migration = sc.run_migration("node1", at=0.5)
+    strat = sc.cr_strategy("ext3")
+
+    def drive(sim):
+        ckpt = yield from strat.checkpoint()
+        restart = yield from strat.restart()
+        return ckpt, restart
+
+    ckpt, restart = sc.sim.run(until=sc.sim.spawn(drive(sc.sim)))
+    return migration, ckpt, restart
+
+
+def test_migration_dict_complete(real_reports):
+    migration, _, _ = real_reports
+    d = migration_report_dict(migration)
+    assert d["kind"] == "migration"
+    assert d["total_s"] == pytest.approx(migration.total_seconds)
+    assert d["stall_s"] + d["migration_s"] + d["restart_s"] + d["resume_s"] \
+        == pytest.approx(d["total_s"])
+    assert d["ranks_migrated"] == [4, 5, 6, 7]
+
+
+def test_checkpoint_dict_with_and_without_restart(real_reports):
+    _, ckpt, restart = real_reports
+    d = checkpoint_report_dict(ckpt, restart)
+    assert d["cycle_s"] == pytest.approx(
+        ckpt.total_seconds + restart.restart_seconds)
+    d2 = checkpoint_report_dict(ckpt)
+    assert "cycle_s" not in d2
+
+
+def test_json_roundtrip(real_reports):
+    migration, ckpt, restart = real_reports
+    text = reports_to_json([migration_report_dict(migration),
+                            checkpoint_report_dict(ckpt, restart)])
+    rows = json.loads(text)
+    assert len(rows) == 2
+    assert {r["kind"] for r in rows} == {"migration", "checkpoint"}
+
+
+def test_csv_union_of_columns(real_reports):
+    migration, ckpt, restart = real_reports
+    text = rows_to_csv([migration_report_dict(migration),
+                        checkpoint_report_dict(ckpt, restart)])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    # Union header: migration-only and checkpoint-only columns both present.
+    assert "chunks" in rows[0]
+    assert "destination" in rows[0]
+    # List cells JSON-encoded.
+    assert json.loads(rows[0]["ranks_migrated"]) == [4, 5, 6, 7]
+
+
+def test_csv_empty():
+    assert rows_to_csv([]) == ""

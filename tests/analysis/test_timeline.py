@@ -1,0 +1,73 @@
+"""Tests for trace-based phase timelines."""
+
+import pytest
+
+from repro import Scenario
+from repro.analysis import extract_phases, render_timeline
+from repro.analysis.timeline import PhaseInterval
+from repro.simulate import Tracer
+
+
+def test_extract_phases_from_real_migration():
+    tracer = Tracer()
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=6, trace=tracer)
+    report = sc.run_migration("node1", at=0.5)
+    intervals = extract_phases(tracer)
+    names = [iv.name for iv in intervals]
+    assert names == ["Job Stall", "Job Migration", "Restart", "Resume"]
+    # Intervals are contiguous and match the report durations.
+    for iv, nxt in zip(intervals, intervals[1:]):
+        assert nxt.start == pytest.approx(iv.end)
+    by_name = {iv.name: iv.duration for iv in intervals}
+    for phase, seconds in report.phase_seconds.items():
+        assert by_name[phase.value] == pytest.approx(seconds)
+    # The migration bracket records are present with payloads.
+    starts = tracer.of_kind("migration.start")
+    ends = tracer.of_kind("migration.end")
+    assert starts[0]["source"] == "node1"
+    assert ends[0]["total"] == pytest.approx(report.total_seconds)
+
+
+def test_extract_phases_validation():
+    t = Tracer()
+    t.record(1.0, "phase.start", phase="A")
+    with pytest.raises(ValueError, match="never ended"):
+        extract_phases(t)
+    t2 = Tracer()
+    t2.record(1.0, "phase.end", phase="B")
+    with pytest.raises(ValueError, match="without start"):
+        extract_phases(t2)
+    t3 = Tracer()
+    t3.record(1.0, "phase.start", phase="A")
+    t3.record(2.0, "phase.start", phase="A")
+    with pytest.raises(ValueError, match="twice"):
+        extract_phases(t3)
+
+
+def test_render_timeline():
+    ivs = [PhaseInterval("stall", 0.0, 0.1),
+           PhaseInterval("migrate", 0.1, 0.5),
+           PhaseInterval("restart", 0.5, 4.5)]
+    out = render_timeline(ivs, width=40, title="demo")
+    lines = out.splitlines()
+    assert len(lines) == 4
+    # Later phases start further right; longer phases have longer bars.
+    assert lines[3].index("#") > lines[1].index("#")
+    assert lines[3].count("#") > lines[2].count("#")
+    assert render_timeline([]) == "== timeline ==\n(no phases)"
+
+
+def test_tracer_subscribe_live():
+    t = Tracer()
+    seen = []
+    t.subscribe(lambda rec: seen.append(rec.kind))
+    t.record(0.0, "a", x=1)
+    t.record(1.0, "b")
+    assert seen == ["a", "b"]
+    assert t.kinds() == ["a", "b"]
+    assert len(t.between(0.5, 1.5)) == 1
+    assert t.records[0].get("x") == 1
+    assert t.records[0].get("missing", "d") == "d"
+    with pytest.raises(KeyError):
+        t.records[0]["nope"]

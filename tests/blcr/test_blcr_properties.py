@@ -1,0 +1,77 @@
+"""Property-based tests for checkpoint images (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blcr import CheckpointImage
+from repro.cluster import OSProcess
+
+_app_state = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=12),
+              st.lists(st.integers(), max_size=4)),
+    max_size=5)
+
+
+@given(seg_sizes=st.lists(st.integers(min_value=0, max_value=50_000),
+                          min_size=1, max_size=8),
+       state=_app_state,
+       seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_snapshot_materialize_roundtrip_any_layout(seg_sizes, state, seed):
+    rng = np.random.default_rng(seed)
+    proc = OSProcess("p", "node0")
+    for i, n in enumerate(seg_sizes):
+        data = rng.integers(0, 256, n, dtype=np.uint8) if n else \
+            np.zeros(0, dtype=np.uint8)
+        proc.add_segment(f"s{i}", n, data)
+    proc.app_state.update(state)
+
+    image = CheckpointImage.snapshot(proc)
+    clone = image.materialize("spare0")
+    assert clone.image_bytes == proc.image_bytes
+    assert clone.app_state == proc.app_state
+    for a, b in zip(proc.segments, clone.segments):
+        assert a.nbytes == b.nbytes
+        np.testing.assert_array_equal(a.data, b.data)
+    # Roundtrip through a second snapshot preserves the checksum.
+    assert CheckpointImage.snapshot(clone).checksum() == image.checksum()
+
+
+@given(seg_sizes=st.lists(st.integers(min_value=1, max_value=10_000),
+                          min_size=1, max_size=6),
+       seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_slices_tile_the_payload(seg_sizes, seed):
+    """Reading the image in arbitrary chunk sizes reconstructs the payload."""
+    rng = np.random.default_rng(seed)
+    proc = OSProcess("p", "node0")
+    for i, n in enumerate(seg_sizes):
+        proc.add_segment(f"s{i}", n, rng.integers(0, 256, n, dtype=np.uint8))
+    image = CheckpointImage.snapshot(proc)
+    chunk = int(rng.integers(1, image.nbytes + 1))
+    parts = []
+    offset = 0
+    while offset < image.nbytes:
+        n = min(chunk, image.nbytes - offset)
+        parts.append(image.slice(offset, n))
+        offset += n
+    rebuilt = np.concatenate(parts)
+    np.testing.assert_array_equal(
+        rebuilt, np.frombuffer(image.payload, dtype=np.uint8))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_checksum_detects_single_byte_flip(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 5000))
+    data = rng.integers(0, 256, n, dtype=np.uint8)
+    proc = OSProcess("p", "node0")
+    proc.add_segment("s", n, data.copy())
+    original = CheckpointImage.snapshot(proc).checksum()
+    idx = int(rng.integers(0, n))
+    proc.segments[0].data[idx] ^= 0xFF
+    assert CheckpointImage.snapshot(proc).checksum() != original

@@ -1,0 +1,101 @@
+"""Tests for sensors, failure injection and the predictive health monitor."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    FailureInjector,
+    HealthMonitor,
+    NodeState,
+    SensorSpec,
+)
+from repro.simulate import Simulator
+
+
+def make(n=2, **monitor_kw):
+    sim = Simulator()
+    c = Cluster(sim, n_compute=n, n_spare=0)
+    inj = FailureInjector(sim, c.rng)
+    mon = HealthMonitor(sim, inj, c.compute, **monitor_kw)
+    return sim, c, inj, mon
+
+
+def test_sensor_reads_nominal_with_noise():
+    sim, c, inj, mon = make()
+    sensor = inj.sensor_for(c.node("node0"))
+    readings = [sensor.read(float(t)) for t in range(50)]
+    spec = inj.spec
+    mean = sum(readings) / len(readings)
+    assert abs(mean - spec.nominal) < 1.0
+    assert sensor.true_value(100.0) == spec.nominal
+
+
+def test_injected_drift_raises_reading():
+    sim, c, inj, mon = make()
+    node = c.node("node0")
+    sensor = inj.sensor_for(node)
+    inj.inject(node, at=10.0, ramp=100.0)
+    sim.run(until=50.0)
+    assert node.state is NodeState.DETERIORATING
+    assert sensor.true_value(sim.now) > inj.spec.nominal + 5
+
+
+def test_node_hard_fails_after_ramp():
+    sim, c, inj, mon = make()
+    node = c.node("node0")
+    failures = []
+    inj.on_failure.append(lambda n: failures.append((n.name, sim.now)))
+    inj.inject(node, at=5.0, ramp=60.0)
+    sim.run(until=100.0)
+    assert node.state is NodeState.FAILED
+    assert failures == [("node0", 65.0)]
+    assert inj.failed_at["node0"] == 65.0
+
+
+def test_monitor_predicts_before_failure():
+    sim, c, inj, mon = make(interval=5.0, window=6, horizon=300.0)
+    node = c.node("node1")
+    inj.inject(node, at=20.0, ramp=240.0)  # slow ramp: easy to catch
+    sim.run(until=300.0)
+    assert len(mon.events) == 1
+    ev = mon.events[0]
+    assert ev.node == "node1"
+    assert ev.time < inj.failed_at.get("node1", 260.0)
+    # The prediction extrapolates a plausible failure time.
+    assert ev.predicted_fail_time == pytest.approx(260.0, abs=60.0)
+
+
+def test_monitor_silent_on_healthy_cluster():
+    sim, c, inj, mon = make(interval=5.0, window=6, horizon=300.0)
+    sim.run(until=500.0)
+    assert mon.events == []
+
+
+def test_monitor_debounces_single_alarm_per_node():
+    sim, c, inj, mon = make(interval=2.0, window=5, horizon=500.0)
+    inj.inject(c.node("node0"), at=10.0, ramp=200.0)
+    sim.run(until=220.0)
+    assert len([e for e in mon.events if e.node == "node0"]) == 1
+
+
+def test_monitor_window_validation():
+    sim = Simulator()
+    c = Cluster(sim, n_compute=1, n_spare=0)
+    inj = FailureInjector(sim, c.rng)
+    with pytest.raises(ValueError):
+        HealthMonitor(sim, inj, c.compute, window=2)
+
+
+def test_injector_ramp_validation():
+    sim, c, inj, mon = make()
+    with pytest.raises(ValueError):
+        inj.inject(c.node("node0"), at=0.0, ramp=0.0)
+
+
+def test_alarm_callback_invoked():
+    hits = []
+    sim, c, inj, mon = make(interval=5.0, window=6, horizon=400.0)
+    mon.on_alarm = lambda ev: hits.append(ev.node)
+    inj.inject(c.node("node0"), at=10.0, ramp=300.0)
+    sim.run(until=350.0)
+    assert hits == ["node0"]

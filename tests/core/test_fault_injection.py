@@ -1,0 +1,130 @@
+"""Adversarial tests: the framework under infrastructure failures.
+
+The paper assumes migrations run while the source node still works; these
+tests probe the edges — FTB agent deaths mid-protocol, sessions torn down
+with pulls outstanding, migrations colliding with checkpoints — to pin the
+failure behaviour the implementation actually provides.
+"""
+
+import pytest
+
+from repro import MigrationPhase, Scenario
+from repro.network import RemoteKeyError
+from repro.simulate import Interrupt
+
+
+def small_scenario(**kw):
+    defaults = dict(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                    iterations=10)
+    defaults.update(kw)
+    return Scenario.build(**defaults)
+
+
+def test_migration_survives_unrelated_ftb_agent_failure():
+    """An FTB agent dying on a *bystander* node must not break a migration
+    between two other nodes: the tree self-heals and the dead agent's
+    clients (node2's NLA and C/R threads) fail over to a live agent."""
+    sc = small_scenario(nprocs=16, n_compute=4)
+    sc.backplane.agent("node2").fail()
+    report = sc.run_migration("node1", at=0.5)
+    assert report.total_seconds < 60
+    assert not sc.job.ranks_on("node1")
+    assert sc.backplane.is_connected()
+
+
+def test_stale_session_rkey_faults_after_teardown():
+    """Straggler RDMA pulls after teardown must fault (revoked rkey), not
+    silently read stale memory — the paper's Sec. III-A consistency rule."""
+    sc = small_scenario()
+    report = sc.run_migration("node1", at=0.5)
+    fw = sc.framework
+    # Re-create the situation: grab the torn-down session's rkey.
+    from repro.core import RDMAMigrationSession
+
+    src = sc.cluster.node("node0")
+    with pytest.raises(RemoteKeyError):
+        src.hca.lookup_rkey(999999)
+
+
+def test_operations_serialize_migration_then_checkpoint():
+    """A checkpoint requested during a migration waits for the op lock,
+    then runs — no interleaved stall protocols."""
+    sc = small_scenario(with_pvfs=False)
+    order = []
+
+    def migration(sim):
+        yield sim.timeout(0.5)
+        report = yield from sc.framework.migrate("node1")
+        order.append(("migration-done", sim.now))
+
+    strat = sc.cr_strategy("ext3")
+
+    def checkpoint(sim):
+        yield sim.timeout(0.6)  # lands mid-migration
+        ckpt = yield from strat.checkpoint()
+        order.append(("checkpoint-done", sim.now))
+
+    sc.sim.spawn(migration(sc.sim))
+    sc.sim.spawn(checkpoint(sc.sim))
+    sc.sim.run(until=sc.job.completion())
+    assert [name for name, _ in order] == ["migration-done", "checkpoint-done"]
+    # The checkpoint started only after the migration finished.
+    assert order[1][1] > order[0][1]
+
+
+def test_second_migration_waits_for_first():
+    sc = small_scenario(nprocs=16, n_compute=4, n_spare=2, iterations=30)
+    done = []
+
+    def fire(sim, source, at):
+        yield sim.timeout(at)
+        report = yield from sc.framework.migrate(source)
+        done.append((source, sim.now, report.target))
+
+    sc.sim.spawn(fire(sc.sim, "node0", 0.5))
+    sc.sim.spawn(fire(sc.sim, "node1", 0.6))  # overlaps the first
+    sc.sim.run(until=sc.job.completion())
+    assert len(done) == 2
+    assert done[0][0] == "node0"
+    assert done[1][1] > done[0][1]  # strictly serialized
+    assert {d[2] for d in done} == {"spare0", "spare1"}
+
+
+def test_migration_of_node_with_blocked_receiver():
+    """A rank blocked in recv on the *migrating* node: the message arrives
+    only after resume, from a sender that was itself suspended."""
+    sc = small_scenario(start_app=False, nprocs=4, n_compute=2)
+    got = []
+
+    def app(rank):
+        if rank.rank == 0:  # on node0: sends late
+            yield from rank.compute(3.0)
+            yield from rank.send(2, 1024, tag="late", payload="finally")
+        elif rank.rank == 2:  # on node1: blocked in recv during migration
+            msg = yield from rank.recv(src=0, tag="late")
+            got.append((msg.payload, rank.node.name))
+        else:
+            yield from rank.compute(0.1)
+
+    sc.job.start(app)
+    report = sc.run_migration("node1", at=0.5)  # rank 2 migrates mid-recv
+    sc.sim.run(until=sc.job.completion())
+    assert got == [("finally", "spare0")]
+
+
+def test_interrupted_compute_conserves_total_work():
+    """Suspension during compute must freeze, not consume, the remainder:
+    total productive time is preserved exactly."""
+    sc = small_scenario(start_app=False, nprocs=4, n_compute=2)
+    finished = {}
+
+    def app(rank):
+        yield from rank.compute(4.0)
+        finished[rank.rank] = rank.sim.now
+
+    sc.job.start(app)
+    report = sc.run_migration("node1", at=1.0)
+    sc.sim.run(until=sc.job.completion())
+    for r, t in finished.items():
+        # 4 s of work + exactly the migration's span of frozen time.
+        assert t == pytest.approx(4.0 + report.total_seconds, rel=0.05), r

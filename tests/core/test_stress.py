@@ -1,0 +1,78 @@
+"""Stress tests: migrations under hostile communication patterns."""
+
+import pytest
+
+from repro import Scenario
+from repro.workloads import AllToAllChatter, HaloExchange
+
+
+def scenario(**kw):
+    defaults = dict(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                    start_app=False)
+    defaults.update(kw)
+    return Scenario.build(**defaults)
+
+
+def test_migration_under_all_to_all_chatter():
+    """Dense traffic: every rank talks to every other while the drain runs;
+    nothing may be lost and the chatter must complete afterwards."""
+    sc = scenario()
+    w = AllToAllChatter(rounds=30, nbytes=8192, compute_seconds=0.003)
+    sc.job.start(w.rank_main)
+    report = sc.run_migration("node1", at=0.05)
+    sc.sim.run(until=sc.job.completion())
+    # Every rank sent exactly rounds * (n-1) messages.
+    for rank in sc.job.ranks:
+        assert rank.bytes_sent == 30 * 7 * 8192
+    assert report.total_seconds < 60
+
+
+def test_back_to_back_migrations_under_halo_traffic():
+    sc = scenario(n_spare=2)
+    w = HaloExchange(iterations=300, nbytes=32768, compute_seconds=0.002)
+    sc.job.start(w.rank_main)
+    r1 = sc.run_migration("node0", at=0.1, reason="health:a")
+
+    def fire(sim):
+        yield sim.timeout(0.1)
+        return (yield from sc.framework.migrate("node1", reason="health:b"))
+
+    r2 = sc.sim.run(until=sc.sim.spawn(fire(sc.sim)))
+    sc.sim.run(until=sc.job.completion())
+    assert {r1.target, r2.target} == {"spare0", "spare1"}
+    for rank in sc.job.ranks:
+        assert rank.bytes_sent == 300 * 32768
+
+
+def test_migrate_every_node_once_round_robin():
+    """March the job across the cluster: each primary node drained in turn
+    (user mode returns nodes to the spare pool, so one spare suffices)."""
+    sc = scenario(nprocs=8, n_compute=2, n_spare=1)
+    w = HaloExchange(iterations=400, nbytes=4096, compute_seconds=0.002)
+    sc.job.start(w.rank_main)
+
+    def plan(sim):
+        reports = []
+        for source in ("node0", "node1", "spare0"):
+            yield sim.timeout(0.1)
+            if not sc.job.ranks_on(source):
+                continue
+            reports.append((yield from sc.framework.migrate(source,
+                                                            reason="user")))
+        return reports
+
+    reports = sc.sim.run(until=sc.sim.spawn(plan(sc.sim)))
+    assert len(reports) == 3
+    sc.sim.run(until=sc.job.completion())
+    for rank in sc.job.ranks:
+        assert rank.bytes_sent == 400 * 4096
+
+
+def test_migration_with_single_rank_per_node():
+    sc = scenario(nprocs=2, n_compute=2)
+    w = HaloExchange(iterations=50, nbytes=1024)
+    sc.job.start(w.rank_main)
+    report = sc.run_migration("node1", at=0.05)
+    assert report.ranks_migrated == [1]
+    sc.sim.run(until=sc.job.completion())
+    assert sc.job.rank_obj(1).node.name == "spare0"

@@ -1,0 +1,165 @@
+"""Tests for the spawn tree, NLAs and the Job Manager."""
+
+import pytest
+
+from repro.blcr import CheckpointEngine, CheckpointImage, FileSink
+from repro.cluster import Cluster, OSProcess
+from repro.ftb import FTBBackplane
+from repro.launch import JobManager, NLAState, SpawnTree
+from repro.simulate import Simulator
+
+
+def make(n_compute=4, n_spare=1, fanout=2):
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=n_compute, n_spare=n_spare,
+                      record_data=True)
+    bp = FTBBackplane(sim, cluster.eth, [n for n in cluster.nodes],
+                      root_node="login")
+    jm = JobManager(sim, cluster, bp, fanout=fanout)
+    return sim, cluster, bp, jm
+
+
+# ----------------------------------------------------------------- SpawnTree
+def test_tree_structure_and_depths():
+    t = SpawnTree("login", [f"n{i}" for i in range(6)], fanout=2)
+    assert t.root == "login"
+    assert t.depth_of("n0") == 1
+    assert t.height >= 2
+    assert "n5" in t
+    assert t.path_to_root("n5")[-1] == "login"
+
+
+def test_tree_replace_preserves_shape():
+    t = SpawnTree("login", ["a", "b", "c", "d"], fanout=2)
+    kids_before = list(t.children["a"])
+    parent_before = t.parent["a"]
+    t.replace("a", "spare")
+    assert "a" not in t
+    assert "spare" in t
+    assert t.parent["spare"] == parent_before
+    assert t.children["spare"] == kids_before
+    for child in kids_before:
+        assert t.parent[child] == "spare"
+
+
+def test_tree_replace_validation():
+    t = SpawnTree("login", ["a", "b"], fanout=2)
+    with pytest.raises(KeyError):
+        t.replace("ghost", "s")
+    with pytest.raises(ValueError):
+        t.replace("a", "b")
+    with pytest.raises(ValueError):
+        SpawnTree("login", ["login"])
+    with pytest.raises(ValueError):
+        SpawnTree("login", ["a"], fanout=0)
+
+
+# ----------------------------------------------------------------------- NLA
+def test_nla_initial_states():
+    sim, cluster, bp, jm = make()
+    assert jm.nla("node0").state is NLAState.MIGRATION_READY
+    assert jm.nla("spare0").state is NLAState.MIGRATION_SPARE
+    with pytest.raises(KeyError):
+        jm.nla("ghost")
+
+
+def test_nla_restart_from_tmp_files_roundtrip():
+    sim, cluster, bp, jm = make()
+    spare = cluster.node("spare0")
+    nla = jm.nla("spare0")
+    engine = CheckpointEngine(sim, "spare0")
+    proc = OSProcess.synthetic("rank5", "node0", image_bytes=40_000,
+                               record_data=True)
+    proc.app_state["iter"] = 17
+    src_sum = CheckpointImage.snapshot(proc).checksum()
+
+    def run(sim):
+        sink = FileSink(sim, spare.fs, "/tmp/mig", fsync=False,
+                        through_cache=True)
+        image = yield from engine.checkpoint(proc, sink)
+        path = sink.path_for(image)
+        restarted = yield from nla.restart_processes(
+            {"rank5": image}, {"rank5": path}, mode="file")
+        return restarted["rank5"]
+
+    p = sim.spawn(run(sim))
+    sim.run()
+    clone = p.value
+    assert clone.app_state["iter"] == 17
+    assert CheckpointImage.snapshot(clone).checksum() == src_sum
+    assert nla.state is NLAState.MIGRATION_READY
+
+
+def test_nla_restart_memory_mode():
+    sim, cluster, bp, jm = make()
+    nla = jm.nla("spare0")
+    proc = OSProcess.synthetic("r", "node0", image_bytes=10_000, record_data=True)
+    image = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        out = yield from nla.restart_processes({"r": image}, {}, mode="memory")
+        return out["r"]
+
+    p = sim.spawn(run(sim))
+    sim.run()
+    assert p.value.node == "spare0"
+
+
+def test_nla_restart_mode_validation():
+    sim, cluster, bp, jm = make()
+    nla = jm.nla("spare0")
+
+    def run(sim):
+        with pytest.raises(ValueError):
+            yield from nla.restart_processes({}, {}, mode="teleport")
+        nla.to_inactive()
+        with pytest.raises(RuntimeError):
+            yield from nla.restart_processes({}, {}, mode="file")
+
+    sim.spawn(run(sim))
+    sim.run()
+
+
+# ---------------------------------------------------------------- JobManager
+def test_startup_costs_scale_with_ranks():
+    def startup_time(ppn):
+        sim, cluster, bp, jm = make()
+        ranks = {f"node{i}": ppn for i in range(4)}
+
+        def run(sim):
+            yield from jm.startup(ranks)
+
+        p = sim.spawn(run(sim))
+        sim.run(until=p)
+        return sim.now
+
+    t2, t8 = startup_time(2), startup_time(8)
+    assert t8 > t2
+    # PMI exchange dominates: 32 ranks * 20 ms = 0.64 s minimum.
+    assert t8 >= 32 * 0.020
+
+
+def test_pmi_exchange_linear_in_ranks():
+    sim, cluster, bp, jm = make()
+
+    def run(sim):
+        t0 = sim.now
+        yield from jm.pmi_exchange(64)
+        return sim.now - t0
+
+    p = sim.spawn(run(sim))
+    sim.run()
+    assert p.value == pytest.approx(64 * jm.params.pmi_exchange_per_rank)
+
+
+def test_repair_tree_swaps_spare():
+    sim, cluster, bp, jm = make()
+
+    def run(sim):
+        yield from jm.repair_tree("node2", "spare0")
+
+    p = sim.spawn(run(sim))
+    sim.run(until=p)
+    assert "node2" not in jm.tree
+    assert "spare0" in jm.tree
+    assert sim.now >= jm.params.tree_repair_cost

@@ -1,0 +1,52 @@
+"""Additional spawn-tree tests: removal, reattachment, shapes."""
+
+import pytest
+
+from repro.launch import SpawnTree
+
+
+def test_remove_leaf():
+    t = SpawnTree("root", ["a", "b", "c"], fanout=2)
+    t.remove("c")
+    assert "c" not in t
+    assert len(t.nodes) == 2
+
+
+def test_remove_internal_reattaches_children_to_parent():
+    t = SpawnTree("root", [f"n{i}" for i in range(7)], fanout=2)
+    victim = "n0"  # has children under fanout=2
+    kids = list(t.children[victim])
+    parent = t.parent[victim]
+    assert kids
+    t.remove(victim)
+    for kid in kids:
+        assert t.parent[kid] == parent
+        assert kid in t.children[parent]
+    assert victim not in t.children
+
+
+def test_remove_missing_raises():
+    t = SpawnTree("root", ["a"])
+    with pytest.raises(KeyError):
+        t.remove("zzz")
+
+
+def test_remove_then_replace_reuses_name():
+    t = SpawnTree("root", ["a", "b"], fanout=2)
+    t.remove("a")
+    t.replace("b", "a")  # the freed name can come back
+    assert "a" in t
+    assert "b" not in t
+
+
+def test_fanout_one_is_a_chain():
+    t = SpawnTree("root", ["a", "b", "c"], fanout=1)
+    assert t.height == 3
+    assert t.path_to_root("c") == ["c", "b", "a", "root"]
+
+
+def test_wide_fanout_is_a_star():
+    nodes = [f"n{i}" for i in range(9)]
+    t = SpawnTree("root", nodes, fanout=16)
+    assert t.height == 1
+    assert sorted(t.children["root"]) == sorted(nodes)

@@ -1,0 +1,133 @@
+"""Tests for the mpi4py-style Comm facade."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi import MAX, MIN, PROD, SUM, Comm, MPIJob
+from repro.mpi.api import _estimate_nbytes
+from repro.simulate import Simulator
+
+
+def run_app(nprocs, n_compute, app):
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=n_compute, n_spare=0)
+    job = MPIJob(sim, cluster, nprocs)
+    job.start(app)
+    sim.run(until=job.completion())
+    return sim, job
+
+
+def test_comm_introspection():
+    seen = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        seen[comm.Get_rank()] = comm.Get_size()
+        yield rank.sim.timeout(0)
+
+    run_app(4, 2, app)
+    assert seen == {0: 4, 1: 4, 2: 4, 3: 4}
+
+
+def test_pickled_send_recv():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        if comm.rank == 0:
+            yield from comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+        elif comm.rank == 1:
+            got["data"] = yield from comm.recv(source=0, tag=11)
+        else:
+            yield rank.sim.timeout(0)
+
+    run_app(2, 2, app)
+    assert got["data"] == {"a": 7, "b": 3.14}
+
+
+def test_sendrecv_ring():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        value = yield from comm.sendrecv(comm.rank, dest=right, source=left,
+                                         sendtag="ring", recvtag="ring")
+        got[comm.rank] = value
+
+    run_app(4, 2, app)
+    assert got == {0: 3, 1: 0, 2: 1, 3: 2}
+
+
+def test_bcast_and_barrier():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        data = yield from comm.bcast(
+            ["x", 1, 2.0] if comm.rank == 0 else None, root=0)
+        yield from comm.Barrier()
+        got[comm.rank] = data
+
+    run_app(6, 3, app)
+    assert all(v == ["x", 1, 2.0] for v in got.values())
+
+
+@pytest.mark.parametrize("op,expected", [(SUM, 6), (MAX, 3), (MIN, 0),
+                                         (PROD, 0)])
+def test_allreduce_ops(op, expected):
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        got[comm.rank] = yield from comm.allreduce(comm.rank, op=op)
+
+    run_app(4, 2, app)
+    assert all(v == expected for v in got.values())
+
+
+def test_reduce_and_gather():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        s = yield from comm.reduce(comm.rank + 1, op=SUM, root=2)
+        g = yield from comm.gather(f"r{comm.rank}", root=2)
+        got[comm.rank] = (s, g)
+
+    run_app(4, 2, app)
+    assert got[2] == (10, ["r0", "r1", "r2", "r3"])
+    assert got[0] == (None, None)
+
+
+def test_buffer_style_send():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        if comm.rank == 0:
+            yield from comm.Send(1_000_000, dest=1, tag=5, payload="bulk")
+        elif comm.rank == 1:
+            msg = yield from comm.Recv(source=0, tag=5)
+            got["nbytes"] = msg.nbytes
+            got["payload"] = msg.payload
+
+    run_app(2, 2, app)
+    assert got == {"nbytes": 1_000_000, "payload": "bulk"}
+
+
+def test_estimate_nbytes_reasonable():
+    assert _estimate_nbytes(None) == 64
+    assert _estimate_nbytes(b"x" * 100) == 164
+    assert _estimate_nbytes("hello") == 69
+    assert _estimate_nbytes(42) == 64
+    assert _estimate_nbytes([1, 2, 3]) == 64 + 3 * 64
+    assert _estimate_nbytes({"k": 1}) > 128
+    import numpy as np
+
+    assert _estimate_nbytes(np.zeros(1000, dtype=np.float64)) == 8064
+    class Weird:  # falls back to sys.getsizeof
+        pass
+
+    assert _estimate_nbytes(Weird()) >= 64

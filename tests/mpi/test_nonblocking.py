@@ -1,0 +1,135 @@
+"""Tests for non-blocking pt2pt (isend/irecv/Request)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi import Comm, MPIJob, Request
+from repro.simulate import Simulator
+
+
+def run_app(nprocs, n_compute, app):
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=n_compute, n_spare=1)
+    job = MPIJob(sim, cluster, nprocs)
+    job.start(app)
+    sim.run(until=job.completion())
+    return sim, job
+
+
+def test_isend_irecv_roundtrip():
+    got = {}
+
+    def app(rank):
+        if rank.rank == 0:
+            req = rank.isend(2, 4096, tag="nb", payload={"x": 1})
+            yield from req.wait()
+        elif rank.rank == 2:
+            req = rank.irecv(src=0, tag="nb")
+            msg = yield from req.wait()
+            got["msg"] = msg.payload
+        else:
+            yield rank.sim.timeout(0)
+
+    run_app(4, 2, app)
+    assert got["msg"] == {"x": 1}
+
+
+def test_overlap_compute_and_communication():
+    """The point of non-blocking: a large transfer overlaps compute."""
+    times = {}
+
+    def app(rank):
+        big = 100_000_000  # ~67 ms of IB wire
+        if rank.rank == 0:
+            t0 = rank.sim.now
+            req = rank.isend(2, big, tag="bulk")
+            yield from rank.compute(0.5)       # overlap
+            yield from req.wait()
+            times["overlapped"] = rank.sim.now - t0
+        elif rank.rank == 2:
+            req = rank.irecv(src=0, tag="bulk")
+            yield from req.wait()
+        else:
+            yield rank.sim.timeout(0)
+
+    run_app(4, 2, app)
+    # Total ~= max(compute, transfer), not their sum.
+    assert times["overlapped"] < 0.6
+
+
+def test_request_test_polling():
+    seen = []
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.compute(1.0)
+            yield from rank.send(1, 64, tag="late")
+        elif rank.rank == 1:
+            req = rank.irecv(src=0, tag="late")
+            seen.append(req.test())       # too early
+            yield from rank.compute(2.0)
+            seen.append(req.test())       # arrived during compute
+            msg = yield from req.wait()
+            seen.append(msg.tag)
+
+    run_app(2, 2, app)
+    assert seen == [False, True, "late"]
+
+
+def test_waitall_ordering():
+    got = {}
+
+    def app(rank):
+        n = rank.job.nprocs
+        if rank.rank == 0:
+            reqs = [rank.irecv(src=s, tag="wa") for s in range(1, n)]
+            msgs = yield from Request.waitall(reqs)
+            got["srcs"] = [m.src for m in msgs]
+        else:
+            yield from rank.compute(0.01 * rank.rank)
+            yield from rank.send(0, 128, tag="wa")
+
+    run_app(4, 2, app)
+    assert got["srcs"] == [1, 2, 3]  # order of the request list, not arrival
+
+
+def test_comm_facade_nonblocking():
+    got = {}
+
+    def app(rank):
+        comm = Comm(rank)
+        if comm.rank == 0:
+            req = comm.isend(["data"], dest=1, tag=9)
+            yield from req.wait()
+        elif comm.rank == 1:
+            msg = yield from comm.irecv(source=0, tag=9).wait()
+            got["payload"] = msg.payload
+
+    run_app(2, 2, app)
+    assert got["payload"] == ["data"]
+
+
+def test_nonblocking_survives_migration():
+    """An irecv posted before a migration completes afterwards."""
+    from repro import Scenario
+
+    sc = Scenario.build(app="LU.C", nprocs=4, n_compute=2, n_spare=1,
+                        iterations=2, start_app=False)
+    got = {}
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.compute(3.0)   # past the migration window
+            yield from rank.send(2, 1024, tag="nb2", payload="post-mig")
+        elif rank.rank == 2:
+            req = rank.irecv(src=0, tag="nb2")
+            msg = yield from req.wait()
+            got["payload"] = msg.payload
+            got["node"] = rank.node.name
+        else:
+            yield from rank.compute(0.05)
+
+    sc.job.start(app)
+    sc.run_migration("node1", at=0.5)   # rank 2 migrates while waiting
+    sc.sim.run(until=sc.job.completion())
+    assert got == {"payload": "post-mig", "node": "spare0"}

@@ -1,0 +1,199 @@
+"""Tests for MPI point-to-point communication."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, EAGER_THRESHOLD, MPIJob
+from repro.simulate import Simulator
+
+
+def make_job(nprocs=4, n_compute=2, **kw):
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=n_compute, n_spare=1)
+    job = MPIJob(sim, cluster, nprocs, **kw)
+    return sim, cluster, job
+
+
+def test_block_placement():
+    sim, cluster, job = make_job(nprocs=4, n_compute=2)
+    assert [rk.node.name for rk in job.ranks] == ["node0", "node0",
+                                                  "node1", "node1"]
+    assert [r.rank for r in job.ranks_on("node1")] == [2, 3]
+    assert job.nodes_used == ["node0", "node1"]
+
+
+def test_placement_validation():
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=3, n_spare=0)
+    with pytest.raises(ValueError):
+        MPIJob(sim, cluster, 4)  # 4 ranks on 3 nodes: uneven
+    with pytest.raises(ValueError):
+        MPIJob(sim, cluster, 0)
+    with pytest.raises(ValueError):
+        MPIJob(sim, cluster, 2, placement=["node0"])
+
+
+def test_send_recv_roundtrip():
+    sim, cluster, job = make_job()
+    results = {}
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.send(2, 1024, tag=7, payload={"v": 42})
+        elif rank.rank == 2:
+            msg = yield from rank.recv(src=0, tag=7)
+            results["msg"] = msg
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    assert results["msg"].payload == {"v": 42}
+    assert results["msg"].nbytes == 1024
+    assert results["msg"].src == 0
+
+
+def test_self_send():
+    sim, cluster, job = make_job()
+    got = []
+
+    def app(rank):
+        if rank.rank == 1:
+            yield from rank.send(1, 64, tag=1, payload="me")
+            msg = yield from rank.recv(src=1, tag=1)
+            got.append(msg.payload)
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    assert got == ["me"]
+
+
+def test_wildcard_recv():
+    sim, cluster, job = make_job()
+    got = []
+
+    def app(rank):
+        if rank.rank == 0:
+            for _ in range(3):
+                msg = yield from rank.recv(src=ANY_SOURCE, tag=ANY_TAG)
+                got.append(msg.src)
+        else:
+            yield rank.sim.timeout(0.001 * rank.rank)
+            yield from rank.send(0, 64, tag=rank.rank)
+
+    job.start(app)
+    sim.run()
+    assert sorted(got) == [1, 2, 3]
+
+
+def test_tag_matching_out_of_order():
+    sim, cluster, job = make_job()
+    order = []
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.send(2, 64, tag="first", payload=1)
+            yield from rank.send(2, 64, tag="second", payload=2)
+        elif rank.rank == 2:
+            msg_b = yield from rank.recv(src=0, tag="second")
+            msg_a = yield from rank.recv(src=0, tag="first")
+            order.extend([msg_b.payload, msg_a.payload])
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    assert order == [2, 1]
+
+
+def test_messages_from_same_sender_fifo():
+    sim, cluster, job = make_job()
+    got = []
+
+    def app(rank):
+        if rank.rank == 0:
+            for i in range(10):
+                yield from rank.send(2, 64, tag="t", payload=i)
+        elif rank.rank == 2:
+            for _ in range(10):
+                msg = yield from rank.recv(src=0, tag="t")
+                got.append(msg.payload)
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    assert got == list(range(10))
+
+
+def test_large_message_uses_rendezvous_and_takes_longer():
+    def one_send(nbytes):
+        sim, cluster, job = make_job()
+        times = {}
+
+        def app(rank):
+            if rank.rank == 0:
+                t0 = rank.sim.now
+                yield from rank.send(2, nbytes, tag=1)
+                times["send"] = rank.sim.now - t0
+            elif rank.rank == 2:
+                yield from rank.recv(src=0, tag=1)
+            else:
+                yield rank.sim.timeout(0)
+
+        job.start(app)
+        sim.run()
+        return times["send"]
+
+    t_small = one_send(1024)
+    t_large = one_send(EAGER_THRESHOLD * 40)
+    assert t_large > t_small * 5
+
+
+def test_byte_accounting():
+    sim, cluster, job = make_job()
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.send(2, 5000, tag=1)
+        elif rank.rank == 2:
+            yield from rank.recv(src=0)
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    assert job.rank_obj(0).bytes_sent == 5000
+    assert job.rank_obj(2).bytes_received == 5000
+    assert job.total_bytes_sent == 5000
+
+
+def test_channels_lazy_and_reused():
+    sim, cluster, job = make_job()
+
+    def app(rank):
+        if rank.rank == 0:
+            yield from rank.send(2, 64, tag=1)
+            yield from rank.send(2, 64, tag=2)
+        elif rank.rank == 2:
+            yield from rank.recv(src=0, tag=1)
+            yield from rank.recv(src=0, tag=2)
+        else:
+            yield rank.sim.timeout(0)
+
+    job.start(app)
+    sim.run()
+    r0 = job.rank_obj(0)
+    assert set(r0.channels.outgoing) == {2}
+    assert r0.channels.peers_contacted == {2}
+    assert set(job.rank_obj(2).incoming) == {0}
+    # rank 1 never communicated.
+    assert job.rank_obj(1).channels.outgoing == {}
+
+
+def test_completion_requires_started():
+    sim, cluster, job = make_job()
+    with pytest.raises(RuntimeError):
+        job.completion()

@@ -1,0 +1,183 @@
+"""Tests for the fluid max-min fair bandwidth engine."""
+
+import pytest
+
+from repro.simulate import Simulator
+from repro.network.fluid import FluidNetwork, Link, stream_efficiency
+
+
+def make(sim=None):
+    sim = sim or Simulator()
+    return sim, FluidNetwork(sim)
+
+
+def test_single_flow_full_bandwidth():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    done = net.transfer([link], 1000.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0, rel=1e-6)
+
+
+def test_latency_added_after_drain():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    done = net.transfer([link], 1000.0, latency=2.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(12.0, rel=1e-6)
+
+
+def test_zero_byte_transfer_is_latency_only():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    done = net.transfer([link], 0.0, latency=0.5)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_two_equal_flows_share_fairly():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    d1 = net.transfer([link], 1000.0)
+    d2 = net.transfer([link], 1000.0)
+    sim.run(until=sim.all_of([d1, d2]))
+    # Each gets 50 B/s -> both finish at t=20.
+    assert sim.now == pytest.approx(20.0, rel=1e-6)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    short = net.transfer([link], 500.0)
+    long = net.transfer([link], 1500.0)
+    t_short = sim.run(until=short) or sim.now
+    assert sim.now == pytest.approx(10.0, rel=1e-6)  # 500 at 50 B/s
+    sim.run(until=long)
+    # long had 1000 left at t=10, then gets full 100 B/s -> +10 s.
+    assert sim.now == pytest.approx(20.0, rel=1e-6)
+
+
+def test_late_joiner_slows_existing_flow():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    results = {}
+
+    def starter(sim):
+        d1 = net.transfer([link], 1000.0)
+        yield d1
+        results["first"] = sim.now
+
+    def joiner(sim):
+        yield sim.timeout(5.0)
+        d2 = net.transfer([link], 1000.0)
+        yield d2
+        results["second"] = sim.now
+
+    sim.spawn(starter(sim))
+    sim.spawn(joiner(sim))
+    sim.run()
+    # First flow: 500 B in [0,5] at 100 B/s, then 500 B at 50 B/s -> t=15.
+    assert results["first"] == pytest.approx(15.0, rel=1e-6)
+    # Second: 500 B by t=15, remaining 500 at 100 B/s -> t=20.
+    assert results["second"] == pytest.approx(20.0, rel=1e-6)
+
+
+def test_multi_link_path_bottleneck():
+    sim, net = make()
+    fast = Link("fast", capacity=1000.0)
+    slow = Link("slow", capacity=10.0)
+    done = net.transfer([fast, slow], 100.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0, rel=1e-6)
+
+
+def test_max_min_fairness_with_bottleneck_and_free_flow():
+    """Two flows share link A; one also crosses tight link B.
+
+    Max-min: flow2 is capped at 10 by B; flow1 then gets the A residual 90.
+    """
+    sim, net = make()
+    a = Link("a", capacity=100.0)
+    b = Link("b", capacity=10.0)
+    f1 = net.transfer([a], 900.0)
+    f2 = net.transfer([a, b], 100.0)
+    sim.run(until=sim.all_of([f1, f2]))
+    assert sim.now == pytest.approx(10.0, rel=1e-6)  # both finish together here
+
+
+def test_water_filling_rates_snapshot():
+    sim, net = make()
+    a = Link("a", capacity=100.0)
+    b = Link("b", capacity=10.0)
+    net.transfer([a], 1e9)
+    net.transfer([a, b], 1e9)
+    flows = sorted(net._flows, key=lambda f: len(f.path))
+    assert flows[0].rate == pytest.approx(90.0, rel=1e-6)
+    assert flows[1].rate == pytest.approx(10.0, rel=1e-6)
+
+
+def test_disjoint_flows_do_not_interact():
+    sim, net = make()
+    l1, l2 = Link("l1", 100.0), Link("l2", 100.0)
+    d1 = net.transfer([l1], 1000.0)
+    d2 = net.transfer([l2], 1000.0)
+    sim.run(until=sim.all_of([d1, d2]))
+    assert sim.now == pytest.approx(10.0, rel=1e-6)
+
+
+def test_bytes_accounting_on_links():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    d1 = net.transfer([link], 300.0)
+    d2 = net.transfer([link], 700.0)
+    sim.run(until=sim.all_of([d1, d2]))
+    assert link.bytes_carried == pytest.approx(1000.0, rel=1e-6)
+
+
+def test_efficiency_curve_degrades_capacity():
+    sim, net = make()
+    # 50% efficiency at 2 streams.
+    link = Link("l", capacity=100.0,
+                efficiency=stream_efficiency(per_stream=0.5, floor=0.1))
+    d1 = net.transfer([link], 500.0)
+    d2 = net.transfer([link], 500.0)
+    sim.run(until=sim.all_of([d1, d2]))
+    # Effective capacity 50 shared by 2 -> 25 B/s each -> 20 s.
+    assert sim.now == pytest.approx(20.0, rel=1e-6)
+
+
+def test_stream_efficiency_floor():
+    curve = stream_efficiency(per_stream=0.1, floor=0.4)
+    assert curve(1) == 1.0
+    assert curve(2) == pytest.approx(0.9)
+    assert curve(100) == pytest.approx(0.4)
+
+
+def test_invalid_inputs():
+    sim, net = make()
+    link = Link("l", 100.0)
+    with pytest.raises(ValueError):
+        Link("bad", 0.0)
+    with pytest.raises(ValueError):
+        net.transfer([link], -1.0)
+    with pytest.raises(ValueError):
+        net.transfer([], 10.0)
+
+
+def test_transfer_event_value_is_flow():
+    sim, net = make()
+    link = Link("l", 100.0)
+    done = net.transfer([link], 100.0, label="probe")
+    flow = sim.run(until=done)
+    assert flow.label == "probe"
+    assert flow.remaining == 0.0
+
+
+def test_many_concurrent_flows_conservation():
+    sim, net = make()
+    link = Link("l", capacity=123.0)
+    sizes = [10.0 * (i + 1) for i in range(20)]
+    events = [net.transfer([link], s) for s in sizes]
+    sim.run(until=sim.all_of(events))
+    assert link.bytes_carried == pytest.approx(sum(sizes), rel=1e-6)
+    assert net.active_flows == 0

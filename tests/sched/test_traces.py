@@ -1,0 +1,70 @@
+"""Tests for failure-trace generators and the Weibull scheduler option."""
+
+import numpy as np
+import pytest
+
+from repro.sched import BatchJobSpec, BatchScheduler
+from repro.sched.traces import (
+    exponential_trace,
+    lognormal_repairs,
+    weibull_trace,
+)
+from repro.simulate import Simulator
+
+
+def test_exponential_trace_matches_budget():
+    trace = exponential_trace(n_nodes=100, node_mtbf=100 * 3600.0,
+                              horizon=30 * 24 * 3600.0,
+                              rng=np.random.default_rng(1))
+    # Expected failures: horizon * n / mtbf = 720 h * 100 / 100 h = 720.
+    assert 600 < len(trace) < 850
+    assert trace.empirical_mtbf_per_node() == pytest.approx(100 * 3600.0,
+                                                            rel=0.2)
+    times = [e.time for e in trace]
+    assert times == sorted(times)
+    assert all(0 <= e.node_index < 100 for e in trace)
+
+
+def test_weibull_trace_same_budget_more_bursty():
+    kw = dict(n_nodes=100, node_mtbf=100 * 3600.0,
+              horizon=60 * 24 * 3600.0)
+    exp = exponential_trace(rng=np.random.default_rng(2), **kw)
+    wei = weibull_trace(shape=0.6, rng=np.random.default_rng(2), **kw)
+    # Same failure budget (mean inter-arrival), within sampling noise.
+    assert wei.mean_interarrival == pytest.approx(exp.mean_interarrival,
+                                                  rel=0.25)
+    # Burstier: higher coefficient of variation of the gaps.
+    def cv(trace):
+        gaps = np.diff([e.time for e in trace.events])
+        return gaps.std() / gaps.mean()
+
+    assert cv(wei) > 1.15 * cv(exp)
+
+
+def test_weibull_shape_validation():
+    with pytest.raises(ValueError):
+        weibull_trace(4, 1000.0, 100.0, shape=0.0)
+
+
+def test_lognormal_repairs_median():
+    r = lognormal_repairs(4000, median_seconds=7200.0,
+                          rng=np.random.default_rng(3))
+    assert np.median(r) == pytest.approx(7200.0, rel=0.1)
+    assert (r > 0).all()
+
+
+def test_scheduler_weibull_mode_runs():
+    sim = Simulator()
+    sched = BatchScheduler(sim, 8, 1, policy="proactive", coverage=0.8,
+                           node_mtbf=4 * 3600.0, failure_shape=0.7,
+                           rng=np.random.default_rng(4))
+    job = sched.submit(BatchJobSpec("w", 4, 8 * 3600.0, 0.0,
+                                    checkpoint_interval=1800.0))
+    sim.run(until=10 * 24 * 3600.0)
+    assert job.useful_done == pytest.approx(8 * 3600.0)
+
+
+def test_scheduler_failure_shape_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BatchScheduler(sim, 4, 0, failure_shape=-1.0)

@@ -1,0 +1,171 @@
+"""Tests for AnyOf/AllOf composite events."""
+
+import pytest
+
+from repro.simulate import AllOf, AnyOf, Simulator
+
+
+def test_allof_waits_for_everything():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(5, value="b")
+        result = yield sim.all_of([t1, t2])
+        return (sim.now, result.values())
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (5, ["a", "b"])
+
+
+def test_anyof_returns_on_first():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="fast")
+        t2 = sim.timeout(5, value="slow")
+        result = yield sim.any_of([t1, t2])
+        return (sim.now, result.values())
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (1, ["fast"])
+
+
+def test_operator_sugar():
+    sim = Simulator()
+
+    def proc(sim):
+        r1 = yield sim.timeout(1, value=1) | sim.timeout(2, value=2)
+        r2 = yield sim.timeout(1, value=3) & sim.timeout(2, value=4)
+        return (r1.values(), r2.values(), sim.now)
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == ([1], [3, 4], 3)
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        result = yield sim.all_of([])
+        return (sim.now, len(result))
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (0, 0)
+
+
+def test_anyof_empty_triggers_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.any_of([])
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == 0
+
+
+def test_allof_with_already_triggered_events():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("pre")
+
+    def proc(sim):
+        result = yield sim.all_of([ev, sim.timeout(2, value="post")])
+        return result.values()
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == ["pre", "post"]
+
+
+def test_condition_value_mapping_api():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="x")
+        t2 = sim.timeout(2, value="y")
+        result = yield sim.all_of([t1, t2])
+        assert result[t1] == "x"
+        assert t2 in result
+        assert result.todict() == {t1: "x", t2: "y"}
+        with pytest.raises(KeyError):
+            result[sim.event()]
+        yield sim.timeout(0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+    bad = sim.event()
+
+    def proc(sim):
+        try:
+            yield sim.any_of([bad, sim.timeout(10)])
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = sim.spawn(proc(sim))
+    bad.fail(RuntimeError("broken-link"))
+    sim.run()
+    assert p.value == "broken-link"
+
+
+def test_allof_partial_results_ordering():
+    sim = Simulator()
+
+    def proc(sim):
+        # Creation order differs from completion order; ConditionValue keeps
+        # the original creation order.
+        slow = sim.timeout(5, value="slow")
+        fast = sim.timeout(1, value="fast")
+        result = yield sim.all_of([slow, fast])
+        return result.values()
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == ["slow", "fast"]
+
+
+def test_cross_simulator_events_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        AllOf(sim1, [sim1.event(), sim2.event()])
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def proc(sim):
+        inner = sim.any_of([sim.timeout(3, value="in")])
+        outer = yield sim.all_of([inner, sim.timeout(1, value="out")])
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == 3
+
+
+def test_anyof_late_failure_is_absorbed():
+    sim = Simulator()
+    bad = sim.event()
+
+    def proc(sim):
+        result = yield sim.any_of([sim.timeout(1, value="ok"), bad])
+        return result.values()
+
+    def failer(sim):
+        yield sim.timeout(5)
+        bad.fail(RuntimeError("too late to matter"))
+
+    p = sim.spawn(proc(sim))
+    sim.spawn(failer(sim))
+    sim.run()  # must not abort: the condition already resolved
+    assert p.value == ["ok"]

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    assert rc == 0
+    return out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_migrate_command_small(capsys):
+    out = run_cli(capsys, "migrate", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--source", "node1")
+    assert "Migration node1 -> spare0" in out
+    assert "Job Stall" in out
+    assert "phase timeline" in out
+    assert "data migrated" in out
+
+
+def test_migrate_memory_restart(capsys):
+    out = run_cli(capsys, "migrate", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--source", "node1",
+                  "--restart-mode", "memory")
+    assert "memory" in out
+
+
+def test_scale_command(capsys):
+    out = run_cli(capsys, "scale", "--ppn", "1", "2")
+    assert "1 ranks/node" in out
+    assert "2 ranks/node" in out
+
+
+def test_interval_command(capsys):
+    out = run_cli(capsys, "interval", "--coverage", "0.0", "0.9",
+                  "--work-days", "1")
+    assert "coverage 0%" in out
+    assert "coverage 90%" in out
+    assert "efficiency" in out
+
+
+def test_compare_command_small(capsys):
+    out = run_cli(capsys, "compare", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2")
+    assert "CR(ext3)" in out
+    assert "speedup over CR(ext3)" in out
+    assert "speedup over CR(pvfs)" in out
+
+
+def test_bad_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["migrate", "--app", "FT.C"])

@@ -1,0 +1,36 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.validation import Check, render_validation, run_validation
+
+
+def test_check_pass_fail_logic():
+    assert Check("x", 10.0, 10.0, rel_tol=0.1).passed
+    assert Check("x", 10.9, 10.0, rel_tol=0.1).passed
+    assert not Check("x", 12.0, 10.0, rel_tol=0.1).passed
+    assert not Check("x", 8.0, 10.0, rel_tol=0.1).passed
+    assert Check("x", 11.0, 10.0, rel_tol=0.1).deviation_pct == pytest.approx(10.0)
+
+
+def test_render_validation_format():
+    checks = [Check("good", 1.0, 1.0, 0.1), Check("bad", 9.0, 1.0, 0.1)]
+    out = render_validation(checks)
+    assert "[PASS] good" in out
+    assert "[FAIL] bad" in out
+    assert "1/2 checks passed" in out
+
+
+def test_full_validation_passes():
+    """The repository's headline reproduction claims, executed end to end.
+
+    This is deliberately the same code path as ``python -m repro validate``:
+    if a calibration change breaks the reproduction, this test fails.
+    """
+    checks = run_validation()
+    failed = [c for c in checks if not c.passed]
+    assert not failed, render_validation(checks)
+    # The byte-accounting checks are exact, not just within tolerance.
+    exact = {c.name: c for c in checks if c.unit == "MB"}
+    for c in exact.values():
+        assert c.measured == pytest.approx(c.expected, rel=1e-3)
