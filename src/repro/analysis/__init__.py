@@ -10,6 +10,7 @@ from .availability import (
 from .metrics import (
     cr_cycle_breakdown,
     data_movement,
+    fluid_engine_stats,
     migration_cycle_breakdown,
     migration_phase_breakdown,
     speedup,
@@ -23,6 +24,7 @@ __all__ = [
     "cr_cycle_breakdown",
     "speedup",
     "data_movement",
+    "fluid_engine_stats",
     "render_table",
     "render_stacked",
     "fmt_seconds",

@@ -87,6 +87,10 @@ class Cluster:
         self.sim = sim
         self.testbed = testbed
         self.trace = trace if trace is not None else NullTracer()
+        if trace is not None and sim.trace is None:
+            # Kernel-level records (spawns, fluid.recompute) share the same
+            # tracer; ``sim.trace`` stays None on the untraced fast path.
+            sim.trace = trace
         self.rng = RandomStreams(seed)
         self.net = FluidNetwork(sim)
         self.ib = IBFabric(sim, params=testbed.ib, net=self.net)

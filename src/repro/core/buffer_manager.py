@@ -31,7 +31,7 @@ from typing import Dict, Generator, List, Optional
 import numpy as np
 
 from ..params import MigrationParams
-from ..simulate.core import Event, Simulator
+from ..simulate.core import Event, Process, Simulator
 from ..simulate.resources import Store
 from ..network.fluid import Link
 from ..network.qp import CompletionQueue, QueuePair, WorkCompletion
@@ -136,6 +136,12 @@ class RDMAMigrationSession:
         self.paths: Dict[str, str] = {}
         self._handles: Dict[str, object] = {}
         self._received: Dict[str, int] = {}
+        #: Finalize totals and completion events, keyed by process name:
+        #: ``_pull_chunk`` signals the event once every byte has landed, so
+        #: ``_finish_proc`` never polls the calendar.
+        self._expected_total: Dict[str, int] = {}
+        self._all_received: Dict[str, Event] = {}
+        self._pumps: List[Process] = []
         # accounting
         self.bytes_offered = 0.0
         self.bytes_pulled = 0.0
@@ -165,15 +171,24 @@ class RDMAMigrationSession:
             self.dst_qp.post_recv(("rx", i))   # prepost descriptor credits
             self.src_qp.post_recv(("rel", i))  # prepost release credits
         self._alive = True
-        self.sim.spawn(self._target_pump(), name="mig-target-pump")
-        self.sim.spawn(self._source_release_pump(), name="mig-release-pump")
+        self._pumps = [
+            self.sim.spawn(self._target_pump(), name="mig-target-pump"),
+            self.sim.spawn(self._source_release_pump(), name="mig-release-pump"),
+        ]
 
     def sink(self) -> AggregatingSink:
         return AggregatingSink(self)
 
     def teardown(self) -> None:
         """Destroy QPs and deregister the pools — rkeys are revoked, so any
-        straggler pull would fault rather than read stale memory."""
+        straggler pull would fault rather than read stale memory.
+
+        Destroying the source QP flushes the posted receives of *both*
+        endpoints into their CQs with error completions, which is what wakes
+        the two pump loops; a follow-up check asserts they actually exited,
+        so a reintroduced leak fails loudly instead of parking one process
+        per migration.
+        """
         self._alive = False
         if self.src_mr is not None:
             self.source.hca.deregister_mr(self.src_mr)
@@ -181,6 +196,18 @@ class RDMAMigrationSession:
             self.target.hca.deregister_mr(self.dst_mr)
         if self.src_qp is not None:
             self.src_qp.destroy()
+        if self._pumps:
+            self.sim.spawn(self._assert_pumps_exit(),
+                           name="mig-teardown-check")
+
+    def _assert_pumps_exit(self) -> Generator:
+        # The flush completions are already in the CQ stores; one calendar
+        # step later both pumps must have observed them and returned.
+        yield self.sim.timeout(0)
+        stuck = [p.name for p in self._pumps if p.is_alive]
+        if stuck:
+            raise RuntimeError(
+                f"migration pumps leaked after teardown: {stuck}")
 
     def _target_handle(self, proc_name: str) -> Generator:
         """Get-or-create the proc's temp-file handle exactly once.
@@ -237,18 +264,28 @@ class RDMAMigrationSession:
                                         offset=desc.stream_offset)
         self.bytes_pulled += desc.nbytes
         self.chunks_pulled += 1
-        self._received[desc.proc_name] = (
-            self._received.get(desc.proc_name, 0) + desc.nbytes)
+        got = self._received.get(desc.proc_name, 0) + desc.nbytes
+        self._received[desc.proc_name] = got
+        # If the finalize marker already overtook us, it parked an event
+        # with the proc's total byte count; signal it once we cross it.
+        expected = self._expected_total.get(desc.proc_name)
+        if expected is not None and got >= expected:
+            self._all_received.pop(desc.proc_name).succeed()
+            del self._expected_total[desc.proc_name]
         # Release the chunk slot back to the source pool.
         self.dst_qp.post_send(("release", desc.seq), _RELEASE_BYTES,
                               payload=desc.pool_offset)
 
     def _finish_proc(self, desc: ChunkDescriptor) -> Generator:
         # The final marker may overtake in-flight pulls (they run
-        # concurrently); wait until every byte of this proc has landed.
+        # concurrently); park on an event that the last chunk pull signals
+        # instead of polling the calendar at sub-millisecond resolution.
         expected = desc.stream_offset  # finalize carries total size here
-        while self._received.get(desc.proc_name, 0) < expected:
-            yield self.sim.timeout(1e-4)
+        if self._received.get(desc.proc_name, 0) < expected:
+            gate = Event(self.sim, name=f"mig-complete.{desc.proc_name}")
+            self._expected_total[desc.proc_name] = expected
+            self._all_received[desc.proc_name] = gate
+            yield gate
         handle = yield from self._target_handle(desc.proc_name)
         yield from self.target.fs.close(handle)
         path = f"{self.tmp_prefix}/{desc.proc_name}.ckpt"

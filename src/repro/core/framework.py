@@ -14,6 +14,7 @@ in MVAPICH2 both designs share this infrastructure [14].
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Generator, List, Optional
 
 from ..params import MigrationParams
@@ -38,6 +39,11 @@ from .protocol import MigrationPhase, MigrationReport
 __all__ = ["JobMigrationFramework", "MigrationError"]
 
 _STALL_REPORT_BYTES = 128
+#: Per-rank FTB dedup window.  Replays only occur for events still in
+#: flight around a re-subscription, so a bounded window is safe — without
+#: it the per-rank `seen` set grows by every event id for the job's whole
+#: lifetime (weeks-long scheduler ablations leak unboundedly).
+_FTB_DEDUP_WINDOW = 256
 
 
 class MigrationError(Exception):
@@ -88,6 +94,7 @@ class JobMigrationFramework:
                            f"cr.{self.job.name}.r{rank.rank}")
         sub = client.subscribe("FTB.MPI.MVAPICH2.*")
         seen: set = set()
+        seen_order: deque = deque()
         while True:
             event = yield sub.queue.get()
             if event.event_id in seen:
@@ -96,6 +103,9 @@ class JobMigrationFramework:
                 # dedup on the event id.
                 continue
             seen.add(event.event_id)
+            seen_order.append(event.event_id)
+            if len(seen_order) > _FTB_DEDUP_WINDOW:
+                seen.discard(seen_order.popleft())
             if event.name in (FTB_MIGRATE, FTB_CKPT_BEGIN):
                 yield from rank.controller.suspend_and_drain()
                 # Report stall-complete to the Job Manager (control message

@@ -134,14 +134,22 @@ class QueuePair:
     def destroy(self) -> None:
         """Tear the connection down; adapter-cached context is lost.
 
-        Pending posted receives are flushed with error completions, like a
-        real QP draining into ERROR before destruction.
+        Pending posted receives are flushed with error completions on *both*
+        endpoints, like real RC QPs draining into ERROR when the connection
+        dies: the peer's receive queue can never be satisfied once this side
+        is gone, so leaving it posted would park the peer's poller forever
+        (one leaked process per teardown).
         """
         if self.peer is not None and self.peer.peer is self:
             self.peer.peer = None
             self.peer.state = QPState.ERROR
+            self.peer._flush_recvs()
         self.peer = None
         self.state = QPState.RESET
+        self._flush_recvs()
+
+    def _flush_recvs(self) -> None:
+        """Complete every posted receive with a flush error."""
         while self._recv_queue.items:
             posted: _PostedRecv = self._recv_queue.items.pop(0)
             self.cq.push(WorkCompletion(posted.wr_id, "RECV", ok=False,

@@ -28,8 +28,9 @@ Example
 from __future__ import annotations
 
 import heapq
+import weakref
 from itertools import count
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "Simulator",
@@ -232,7 +233,7 @@ class Process(Event):
     other simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "_wait_token")
+    __slots__ = ("_generator", "_target", "_wait_token", "__weakref__")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -349,6 +350,9 @@ class Simulator:
         self._seq = count()
         self._active: Optional[Process] = None
         self._unhandled: list = []
+        #: Weak refs to every spawned process — lets leak tests enumerate
+        #: still-alive (parked) processes without pinning dead ones.
+        self._spawned: list = []
         self.trace = trace
 
     # -- clock --------------------------------------------------------------
@@ -369,12 +373,31 @@ class Simulator:
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         proc = Process(self, generator, name)
+        self._spawned.append(weakref.ref(proc))
         if self.trace is not None:
             self.trace.record(self._now, "spawn", name=proc.name)
         return proc
 
     # aliased for readers used to SimPy
     process = spawn
+
+    def live_processes(self) -> List[Process]:
+        """Every spawned process that has not yet terminated.
+
+        A process that outlives the work it was spawned for is a leak (the
+        pump-loop regression tests assert on this); dead or collected
+        entries are pruned as a side effect, so the registry stays small
+        even across very long runs.
+        """
+        alive: List[Process] = []
+        kept: list = []
+        for ref in self._spawned:
+            proc = ref()
+            if proc is not None and proc.is_alive:
+                alive.append(proc)
+                kept.append(ref)
+        self._spawned = kept
+        return alive
 
     def any_of(self, events: Iterable[Event]) -> "Event":
         from .conditions import AnyOf

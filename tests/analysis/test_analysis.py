@@ -104,3 +104,25 @@ def test_migration_report_repr_and_phase_access():
     assert "node3->spare0" in repr(r)
     assert r.phase(MigrationPhase.RESUME) == 1.3
     assert r.phase(MigrationPhase.STALL) == 0.03
+
+
+def test_fluid_engine_stats_surface():
+    from repro.analysis import fluid_engine_stats
+    from repro.network.fluid import FluidNetwork, Link
+    from repro.simulate import Simulator
+
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    l1, l2 = Link("l1", 100.0), Link("l2", 100.0)
+    net.transfer([l1], 500.0)
+    net.transfer([l2], 500.0)
+    row = fluid_engine_stats(net)
+    assert row["recomputes"] == 2
+    assert row["flows_visited"] == 2  # scoped: each recompute saw 1 flow
+    assert row["active_flows"] == 2.0
+    assert row["active_components"] == 2.0
+    assert row["peak_component_size"] == 1
+    sim.run()
+    row = fluid_engine_stats(net)
+    assert row["active_flows"] == 0.0
+    assert row["visits_per_recompute"] <= 1.0

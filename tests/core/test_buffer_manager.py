@@ -124,6 +124,79 @@ def test_oversized_checkpoint_chunk_rejected():
     sim.run(until=p)
 
 
+def test_teardown_unparks_both_pumps():
+    """Regression: destroy() used to flush only the source QP's receives,
+    so the target pump stayed parked on the dst CQ forever — one leaked
+    process per migration."""
+    sim, cluster, session = make(record_data=False)
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=MB)
+    migrate_procs(sim, cluster, session, [proc])
+    assert [p.name for p in session._pumps if p.is_alive] == [
+        "mig-target-pump", "mig-release-pump"]
+    session.teardown()
+    sim.run()  # drains the flush completions and the teardown check
+    assert [p.name for p in session._pumps if p.is_alive] == []
+
+
+def test_full_migration_leaks_no_processes():
+    """Counts live simulator processes around a complete migrate() cycle.
+
+    Long-lived populations (per-rank C/R threads, channel demux pumps) are
+    allowed to persist — torn-down channels are replaced one-for-one at
+    resume — but the count must not grow, and none of the migration
+    session's own processes (``mig-*``) may survive the cycle."""
+    from repro import Scenario
+
+    sc = Scenario.build(app="LU.C", nprocs=4, n_compute=2, n_spare=1,
+                        iterations=2)
+    sc.sim.run(until=sc.job.completion())
+    before = sc.sim.live_processes()
+
+    def fire(sim):
+        yield from sc.framework.migrate("node1")
+
+    p = sc.sim.spawn(fire(sc.sim))
+    sc.sim.run(until=p)
+    sc.sim.run()  # let every transient of the cycle drain
+    after = sc.sim.live_processes()
+    parked_pumps = [q.name for q in after if q.name.startswith("mig-")]
+    assert parked_pumps == [], f"session processes leaked: {parked_pumps}"
+    assert len(after) <= len(before), (
+        f"live process count grew across migrate(): "
+        f"{len(before)} -> {len(after)}: {[q.name for q in after]}")
+
+
+def test_finish_proc_parks_instead_of_polling():
+    """The finalize path must park on an event signalled by the last chunk
+    pull.  With the final marker 10 simulated seconds ahead of the data,
+    the old 1e-4 s polling loop would push ~100k events through the
+    calendar; the event-based path stays in the hundreds."""
+    from repro.blcr import CheckpointImage
+
+    params = MigrationParams()
+    sim, cluster, session = make(record_data=False, params=params)
+    chunk = params.chunk_size
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=chunk)
+    image = CheckpointImage.snapshot(proc)
+
+    def drive(sim):
+        yield from session.setup(expected_procs=1)
+        sink = session.sink()
+        # Finalize overtakes the data by a long stretch.
+        yield from sink.finalize(image)
+        yield sim.timeout(10.0)
+        yield from sink.write(image, 0, chunk, None)
+        yield session.done
+
+    p = sim.spawn(drive(sim))
+    sim.run(until=p)
+    events_processed = next(sim._seq)
+    assert sim.now > 10.0
+    assert events_processed < 5000, (
+        f"{events_processed} events for one chunk + a 10 s finalize wait "
+        "looks like busy-polling")
+
+
 def test_teardown_revokes_rkeys():
     sim, cluster, session = make(record_data=False)
     proc = OSProcess.synthetic("r0", "node0", image_bytes=MB)

@@ -181,3 +181,128 @@ def test_many_concurrent_flows_conservation():
     sim.run(until=sim.all_of(events))
     assert link.bytes_carried == pytest.approx(sum(sizes), rel=1e-6)
     assert net.active_flows == 0
+
+
+# -- component scoping ------------------------------------------------------
+
+def test_disjoint_flows_form_separate_components():
+    sim, net = make()
+    l1, l2 = Link("l1", 100.0), Link("l2", 100.0)
+    net.transfer([l1], 1000.0)
+    net.transfer([l2], 1000.0)
+    assert net.active_components == 2
+    sim.run()
+    assert net.active_components == 0
+    assert l1.component is None and l2.component is None
+
+
+def test_shared_link_merges_components():
+    sim, net = make()
+    a, b, shared = Link("a", 100.0), Link("b", 100.0), Link("s", 50.0)
+    net.transfer([a], 1000.0)
+    net.transfer([b], 1000.0)
+    assert net.active_components == 2
+    # A third flow bridging both private links fuses everything.
+    net.transfer([a, shared, b], 1000.0)
+    assert net.active_components == 1
+    assert net.stats.merges == 1
+    sim.run()
+    assert net.active_components == 0
+
+
+def test_component_splits_when_bridge_flow_finishes():
+    sim, net = make()
+    a, b = Link("a", 100.0), Link("b", 100.0)
+    net.transfer([a], 10_000.0)
+    net.transfer([b], 10_000.0)
+    bridge = net.transfer([a, b], 10.0)  # finishes almost immediately
+    assert net.active_components == 1
+    sim.run(until=bridge)  # completion guard has already re-partitioned
+    assert net.active_components == 2
+    assert net.stats.splits >= 1
+    sim.run()
+
+
+def test_disjoint_recomputes_do_not_visit_other_components():
+    """Work scoping: events in one component never walk the other's flows."""
+    sim, net = make()
+    l1, l2 = Link("l1", 100.0), Link("l2", 100.0)
+    for _ in range(8):
+        net.transfer([l1], 1000.0)
+    baseline = net.stats.flows_visited
+    net.transfer([l2], 1000.0)
+    # The new flow's recompute visited exactly itself, not the 8 others.
+    assert net.stats.flows_visited == baseline + 1
+    assert net.stats.peak_component_size == 8
+    sim.run()
+    # And every recompute visited fewer flows than a global engine would.
+    assert net.stats.flows_visited < net.stats.global_flows_equiv
+
+
+def test_stats_visits_per_recompute():
+    sim, net = make()
+    assert net.stats.visits_per_recompute() == 0.0
+    link = Link("l", 100.0)
+    net.transfer([link], 100.0)
+    net.transfer([link], 100.0)
+    assert net.stats.recomputes == 2
+    assert net.stats.visits_per_recompute() == pytest.approx(1.5)
+    d = net.stats.as_dict()
+    assert d["recomputes"] == 2 and d["peak_component_size"] == 2
+    sim.run()
+
+
+def test_idle_link_component_pointer_cleared_when_flows_finish():
+    """A link whose flows all completed must not glue later transfers to a
+    still-running component it no longer belongs to."""
+    sim, net = make()
+    a, b = Link("a", 100.0), Link("b", 100.0)
+    short = net.transfer([a, b], 10.0)
+    net.transfer([b], 100_000.0)
+    sim.run(until=short)  # guard fired: a goes idle, b keeps its flow
+    assert a.component is None
+    net.transfer([a], 1000.0)
+    # a's new flow is independent of b's long-running one.
+    assert net.active_components == 2
+    sim.run()
+
+
+def test_recompute_trace_records_component_size():
+    from repro.simulate.trace import Tracer
+
+    sim = Simulator(trace=Tracer())
+    net = FluidNetwork(sim)
+    link = Link("l", 100.0)
+    net.transfer([link], 100.0)
+    net.transfer([link], 100.0)
+    recs = sim.trace.of_kind("fluid.recompute")
+    assert len(recs) == 2
+    assert recs[0]["flows"] == 1 and recs[1]["flows"] == 2
+    sim.run()
+
+
+# -- utilization ------------------------------------------------------------
+
+def test_utilization_uses_effective_capacity():
+    """A seek-thrashed disk at its efficiency floor is *saturated*: the
+    allocation equals the degraded capacity, so utilization must read 1.0
+    (dividing by raw capacity under-reported it as the floor value)."""
+    sim, net = make()
+    link = Link("l", capacity=100.0,
+                efficiency=stream_efficiency(per_stream=0.3, floor=0.4))
+    net.transfer([link], 1000.0)
+    net.transfer([link], 1000.0)
+    net.transfer([link], 1000.0)
+    # 3 streams -> effective capacity 40, fully allocated.
+    assert sum(f.rate for f in link.flows) == pytest.approx(40.0)
+    assert link.utilization == pytest.approx(1.0)
+    sim.run()
+
+
+def test_utilization_without_efficiency_curve():
+    sim, net = make()
+    link = Link("l", capacity=100.0)
+    net.transfer([link], 1000.0)
+    assert link.utilization == pytest.approx(1.0)
+    sim.run()
+    assert link.utilization == 0.0

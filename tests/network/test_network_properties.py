@@ -61,6 +61,73 @@ def test_path_bottleneck_is_min_capacity(caps):
     assert sim.now == pytest.approx(5000.0 / min(caps), rel=1e-6)
 
 
+def reference_global_rates(flows):
+    """The pre-component engine: progressive filling over the *entire*
+    population at once.  Ground truth the scoped engine must reproduce."""
+    rates = {f: 0.0 for f in flows}
+    links = {}
+    unfrozen_on = {}
+    for f in flows:
+        for link in f.path:
+            if link not in links:
+                links[link] = link.effective_capacity()
+                unfrozen_on[link] = 0
+            unfrozen_on[link] += 1
+    unfrozen = set(flows)
+    while unfrozen:
+        inc = min(links[l] / unfrozen_on[l] for l in links if unfrozen_on[l] > 0)
+        for f in unfrozen:
+            rates[f] += inc
+        saturated = []
+        for l in links:
+            n = unfrozen_on[l]
+            if n > 0:
+                links[l] -= inc * n
+                if links[l] <= 1e-9 * l.capacity + 1e-9:
+                    saturated.append(l)
+        if not saturated:
+            break
+        frozen = {f for l in saturated for f in l.flows if f in unfrozen}
+        unfrozen -= frozen
+        for f in frozen:
+            for link in f.path:
+                unfrozen_on[link] -= 1
+    return rates
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_component_scoped_rates_match_global_fill(seed):
+    """The max-min allocation decomposes over connected components: for any
+    random population the scoped engine's rates must equal a global
+    progressive fill over all flows at once."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    # Three islands of links plus occasional cross-island paths, so the
+    # population has both disjoint components and merge-inducing flows.
+    islands = [[Link(f"i{k}.l{i}", float(rng.uniform(50, 500)))
+                for i in range(3)] for k in range(3)]
+    flat = [l for isl in islands for l in isl]
+    for _ in range(14):
+        if rng.uniform() < 0.8:
+            isl = islands[rng.integers(3)]
+            idx = sorted(rng.choice(3, size=rng.integers(1, 3), replace=False))
+            path = [isl[i] for i in idx]
+        else:
+            idx = sorted(rng.choice(9, size=2, replace=False))
+            path = [flat[i] for i in idx]
+        net.transfer(path, float(rng.uniform(100, 10_000)))
+    expected = reference_global_rates(net._flows)
+    for flow, rate in expected.items():
+        assert flow.rate == pytest.approx(rate, rel=1e-9), flow.label
+    sim.run()
+    assert net.active_flows == 0
+    assert net.active_components == 0
+
+
 @given(seed=st.integers(min_value=0, max_value=1000))
 @settings(max_examples=15, deadline=None)
 def test_rates_never_exceed_capacity(seed):

@@ -40,6 +40,48 @@ def test_send_after_peer_destroy_errors():
     assert qa.state is QPState.ERROR
 
 
+def test_destroy_flushes_own_posted_receives():
+    sim, fab, qa, qb = make_pair()
+    qa.post_recv("own1")
+    qa.post_recv("own2")
+    qa.destroy()
+    assert len(qa.cq) == 2
+
+    def poll(sim):
+        return (yield qa.cq.poll())
+
+    p = sim.spawn(poll(sim))
+    sim.run()
+    assert not p.value.ok
+
+
+def test_destroy_flushes_peer_posted_receives():
+    """Destroying one side must drain the *peer's* receive queue into the
+    peer's CQ with error completions — a poller parked on the peer CQ
+    (like the migration target pump) would otherwise never wake."""
+    sim, fab, qa, qb = make_pair()
+    qb.post_recv("peer1")
+    qb.post_recv("peer2")
+    woken = []
+
+    def peer_poller(sim):
+        wc = yield qb.cq.poll_where(lambda w: w.opcode == "RECV")
+        woken.append(wc)
+
+    p = sim.spawn(peer_poller(sim))
+    sim.run(until=sim.timeout(1.0))
+    assert p.is_alive  # parked: nothing has arrived
+    qa.destroy()
+    sim.run()
+    assert not p.is_alive
+    assert len(woken) == 1 and not woken[0].ok
+    assert qb.state is QPState.ERROR
+    # Both receive queues drained symmetrically: one flushed completion
+    # consumed by the poller, one still sitting in the peer CQ.
+    assert len(qb._recv_queue.items) == 0
+    assert len(qb.cq) == 1
+
+
 def test_double_destroy_is_idempotent():
     sim, fab, qa, qb = make_pair()
     qa.destroy()

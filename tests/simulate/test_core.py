@@ -423,3 +423,26 @@ def test_many_processes_complete():
         sim.spawn(proc(sim, i))
     sim.run()
     assert sorted(done) == list(range(500))
+
+
+def test_live_processes_tracks_parked_and_prunes_dead():
+    sim = Simulator()
+    gate = Event(sim, name="gate")
+
+    def parked(sim):
+        yield gate
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    p1 = sim.spawn(parked(sim), name="parked")
+    for _ in range(10):
+        sim.spawn(quick(sim))
+    sim.run(until=sim.timeout(5))
+    live = sim.live_processes()
+    assert live == [p1]
+    gate.succeed()
+    sim.run()
+    assert sim.live_processes() == []
+    # Dead entries were pruned from the registry, not just filtered.
+    assert len(sim._spawned) == 0
