@@ -17,6 +17,14 @@ from .metrics import (
 )
 from .report import fmt_seconds, render_stacked, render_table
 from .timeline import PhaseInterval, extract_phases, render_timeline
+from .trace_export import (
+    chrome_trace,
+    metrics_payload,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
 
 __all__ = [
     "migration_phase_breakdown",
@@ -36,4 +44,10 @@ __all__ = [
     "PhaseInterval",
     "extract_phases",
     "render_timeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "metrics_payload",
+    "summarize_trace",
 ]

@@ -32,25 +32,33 @@ class PhaseInterval:
 def extract_phases(trace: Tracer) -> List[PhaseInterval]:
     """Pair up phase.start / phase.end records, in start order.
 
+    Records carrying a ``span`` id (the span API) are keyed on
+    ``(name, span)``, so two migrations running the same-named phase
+    concurrently pair up correctly instead of tripping the consistency
+    check; span-less legacy records key on ``(name, None)`` and keep the
+    strict one-open-instance semantics.
+
     Raises if the trace is inconsistent (an end without a start, or a phase
     left open) — that would indicate a framework bug, not a data problem.
     """
-    open_phases: Dict[str, float] = {}
+    open_phases: Dict[tuple, float] = {}
     intervals: List[PhaseInterval] = []
     for rec in trace.records:
         if rec.kind == "phase.start":
-            name = rec["phase"]
-            if name in open_phases:
-                raise ValueError(f"phase {name!r} started twice without end")
-            open_phases[name] = rec.time
+            key = (rec["phase"], rec.get("span"))
+            if key in open_phases:
+                raise ValueError(
+                    f"phase {key[0]!r} started twice without end")
+            open_phases[key] = rec.time
         elif rec.kind == "phase.end":
-            name = rec["phase"]
-            if name not in open_phases:
-                raise ValueError(f"phase {name!r} ended without start")
-            intervals.append(PhaseInterval(name, open_phases.pop(name),
+            key = (rec["phase"], rec.get("span"))
+            if key not in open_phases:
+                raise ValueError(f"phase {key[0]!r} ended without start")
+            intervals.append(PhaseInterval(key[0], open_phases.pop(key),
                                            rec.time))
     if open_phases:
-        raise ValueError(f"phases never ended: {sorted(open_phases)}")
+        raise ValueError(
+            f"phases never ended: {sorted(k[0] for k in open_phases)}")
     intervals.sort(key=lambda iv: iv.start)
     return intervals
 

@@ -1,0 +1,228 @@
+"""Trace and metrics exporters: JSONL rows and Chrome Trace Event Format.
+
+Two serializations of the same observability data:
+
+* :func:`write_jsonl` — one JSON object per line per
+  :class:`~repro.simulate.trace.TraceRecord` (``{"t", "kind", **fields}``),
+  the grep/jq-friendly archival format;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_
+  load directly.  Paired ``<name>.start``/``<name>.end`` span records
+  become ``X`` (complete) events, span-less records become ``i`` (instant)
+  events, and :class:`~repro.simulate.metrics.MetricsRegistry` counter and
+  gauge sample trails become ``C`` counter tracks.  One trace *process*
+  per cluster node, one *thread* per rank/process within it, named via
+  ``M`` metadata events.
+
+Sim time is seconds; trace-event ``ts``/``dur`` are microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["write_jsonl", "chrome_trace", "write_chrome_trace",
+           "metrics_payload", "write_metrics", "summarize_trace"]
+
+#: kind prefix -> Chrome trace category (drives Perfetto's track colors).
+_CATEGORIES = (
+    ("migration", "framework"),
+    ("phase", "framework"),
+    ("session", "framework"),
+    ("blcr", "checkpoint"),
+    ("nla", "launch"),
+    ("pool", "buffer-pool"),
+    ("qp", "network"),
+    ("ib", "network"),
+    ("mr", "network"),
+    ("fluid", "network"),
+    ("eth", "network"),
+    ("ftb", "ftb"),
+    ("disk", "storage"),
+    ("fs", "storage"),
+    ("pvfs", "storage"),
+)
+
+
+def _category(kind: str) -> str:
+    head = kind.split(".", 1)[0]
+    for prefix, cat in _CATEGORIES:
+        if head == prefix:
+            return cat
+    return "other"
+
+
+def write_jsonl(trace, path: str) -> int:
+    """Write every record as one JSON line; returns the number of rows."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in trace:
+            fh.write(json.dumps(rec.as_dict(), default=str))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+class _IdAllocator:
+    """Stable small-int ids for node (pid) and lane (tid) names."""
+
+    def __init__(self, start: int = 1):
+        self._ids: Dict[Any, int] = {}
+        self._next = start
+
+    def __call__(self, key: Any) -> int:
+        got = self._ids.get(key)
+        if got is None:
+            got = self._ids[key] = self._next
+            self._next += 1
+        return got
+
+    def items(self) -> Iterable[Tuple[Any, int]]:
+        return self._ids.items()
+
+
+def _locate(fields: Dict[str, Any]) -> Tuple[str, str]:
+    """(node-lane, thread-lane) a record belongs to in the trace UI."""
+    node = fields.get("node") or fields.get("src") or fields.get("source") \
+        or fields.get("client") or "cluster"
+    for key in ("rank", "proc", "client", "cq", "qp"):
+        if key in fields:
+            return str(node), f"{key}:{fields[key]}"
+    return str(node), "main"
+
+
+def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
+    """Build a Chrome Trace Event Format document (a JSON-able dict).
+
+    Span pairs are matched on their ``span`` id, so nested and concurrent
+    operations come out as properly stacked ``X`` events; a span left open
+    at the end of the run (a crashed simulation) is emitted with zero
+    duration rather than dropped.
+    """
+    events: List[Dict[str, Any]] = []
+    pids = _IdAllocator()
+    tids: Dict[int, _IdAllocator] = {}
+    seen_lanes: Dict[Tuple[int, int], Tuple[str, str]] = {}
+
+    def lane(fields: Dict[str, Any]) -> Tuple[int, int]:
+        node, thread = _locate(fields)
+        pid = pids(node)
+        alloc = tids.get(pid)
+        if alloc is None:
+            alloc = tids[pid] = _IdAllocator()
+        tid = alloc(thread)
+        seen_lanes[(pid, tid)] = (node, thread)
+        return pid, tid
+
+    open_spans: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+    for rec in trace:
+        fields = dict(rec.fields)
+        span_id = fields.get("span")
+        if span_id is not None and rec.kind.endswith(".start"):
+            open_spans[span_id] = (rec, fields)
+            continue
+        if span_id is not None and rec.kind.endswith(".end"):
+            start_rec, start_fields = open_spans.pop(
+                span_id, (rec, fields))
+            name = rec.kind[: -len(".end")]
+            merged = dict(start_fields)
+            merged.update(fields)
+            pid, tid = lane(merged)
+            if name == "phase" and "phase" in merged:
+                name = f"phase:{merged['phase']}"
+            events.append({
+                "name": name, "cat": _category(rec.kind), "ph": "X",
+                "ts": start_rec.time * 1e6,
+                "dur": max(0.0, (rec.time - start_rec.time) * 1e6),
+                "pid": pid, "tid": tid, "args": merged,
+            })
+            continue
+        pid, tid = lane(fields)
+        events.append({
+            "name": rec.kind, "cat": _category(rec.kind), "ph": "i",
+            "ts": rec.time * 1e6, "s": "t",
+            "pid": pid, "tid": tid, "args": fields,
+        })
+    # Unbalanced starts (sim aborted mid-span): keep them visible.
+    for start_rec, start_fields in open_spans.values():
+        pid, tid = lane(start_fields)
+        events.append({
+            "name": start_rec.kind[: -len(".start")] + " (unclosed)",
+            "cat": _category(start_rec.kind), "ph": "X",
+            "ts": start_rec.time * 1e6, "dur": 0.0,
+            "pid": pid, "tid": tid, "args": start_fields,
+        })
+
+    if metrics is not None:
+        ctr_pid = pids("metrics")
+        for inst in metrics:
+            samples = getattr(inst, "samples", None)
+            if not samples:
+                continue
+            for t, v in samples:
+                events.append({
+                    "name": inst.name, "cat": "metrics", "ph": "C",
+                    "ts": t * 1e6, "pid": ctr_pid,
+                    "args": {"value": v},
+                })
+        seen_lanes[(ctr_pid, 0)] = ("metrics", "main")
+
+    meta: List[Dict[str, Any]] = []
+    named_pids = set()
+    for (pid, tid), (node, thread) in sorted(seen_lanes.items()):
+        if pid not in named_pids:
+            named_pids.add(pid)
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": node}})
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": thread}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace, path: str, metrics=None) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    doc = chrome_trace(trace, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=str)
+    return len(doc["traceEvents"])
+
+
+def metrics_payload(metrics) -> Dict[str, Any]:
+    """The ``metrics.json`` document for a registry (or ``None``)."""
+    return {} if metrics is None else metrics.as_dict()
+
+
+def write_metrics(metrics, path: str) -> int:
+    payload = metrics_payload(metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return len(payload)
+
+
+def summarize_trace(trace, metrics=None) -> str:
+    """Human-oriented digest: phase durations, byte movement, kind counts."""
+    from .timeline import extract_phases
+
+    lines: List[str] = []
+    intervals = extract_phases(trace)
+    if intervals:
+        lines.append("phases:")
+        for iv in intervals:
+            lines.append(f"  {iv.name:<12} {iv.duration:9.3f} s "
+                         f"[{iv.start:.3f} .. {iv.end:.3f}]")
+    kinds: Dict[str, int] = {}
+    for rec in trace:
+        kinds[rec.kind] = kinds.get(rec.kind, 0) + 1
+    lines.append(f"records: {len(kinds)} kinds, "
+                 f"{sum(kinds.values())} total")
+    if metrics is not None and len(metrics):
+        lines.append("key metrics:")
+        for name in metrics.names():
+            inst = metrics.get(name)
+            if inst.kind == "counter":
+                lines.append(f"  {name:<28} {inst.value:>14.0f} {inst.unit}")
+            elif inst.kind == "histogram" and inst.count:
+                lines.append(f"  {name:<28} n={inst.count} "
+                             f"mean={inst.mean:.6g} {inst.unit}")
+    return "\n".join(lines)

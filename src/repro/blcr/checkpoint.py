@@ -156,17 +156,27 @@ class CheckpointEngine:
             raise ValueError("chunk_bytes must be positive")
         if not proc.alive:
             raise RuntimeError(f"cannot checkpoint dead process {proc!r}")
-        yield self.sim.timeout(self.params.checkpoint_proc_overhead)
-        image = CheckpointImage.snapshot(proc, dirty_only=incremental)
-        proc.mark_clean()
-        scan_limit = Link(f"blcr.{self.node_name}.{proc.pid}.scan",
-                          self.params.image_scan_bandwidth)
-        offset = 0
-        while offset < image.nbytes:
-            n = min(chunk_bytes, image.nbytes - offset)
-            yield self.net.transfer([scan_limit, self.membus], n,
-                                    label=f"blcr-scan:{proc.name}")
-            yield from sink.write(image, offset, n, image.slice(offset, n))
-            offset += n
-        yield from sink.finalize(image)
+        metrics = self.sim.metrics
+        m_scanned = metrics.counter("blcr.bytes_scanned", unit="bytes")
+        h_ckpt = metrics.histogram("blcr.checkpoint_seconds", unit="s")
+        t_begin = self.sim.now
+        with self.sim.tracer.span("blcr.checkpoint", proc=proc.name,
+                                  node=self.node_name,
+                                  incremental=incremental) as sp:
+            yield self.sim.timeout(self.params.checkpoint_proc_overhead)
+            image = CheckpointImage.snapshot(proc, dirty_only=incremental)
+            proc.mark_clean()
+            scan_limit = Link(f"blcr.{self.node_name}.{proc.pid}.scan",
+                              self.params.image_scan_bandwidth)
+            offset = 0
+            while offset < image.nbytes:
+                n = min(chunk_bytes, image.nbytes - offset)
+                yield self.net.transfer([scan_limit, self.membus], n,
+                                        label=f"blcr-scan:{proc.name}")
+                m_scanned.inc(n)
+                yield from sink.write(image, offset, n, image.slice(offset, n))
+                offset += n
+            yield from sink.finalize(image)
+            sp.annotate(nbytes=image.nbytes)
+        h_ckpt.observe(self.sim.now - t_begin)
         return image

@@ -79,9 +79,15 @@ class RestartEngine:
         """
         if metadata is None:
             raise RestartError(f"no image header available for {path!r}")
-        yield self.sim.timeout(self.params.restart_proc_overhead)
-        image = yield from self._read_image(fs, path, metadata, client,
-                                            chunk_bytes)
+        with self.sim.tracer.span("blcr.restart", mode="file",
+                                  proc=metadata.proc_name,
+                                  node=self.node_name) as sp:
+            yield self.sim.timeout(self.params.restart_proc_overhead)
+            image = yield from self._read_image(fs, path, metadata, client,
+                                                chunk_bytes)
+            sp.annotate(nbytes=image.nbytes)
+            self.sim.metrics.counter("blcr.restart.bytes_read",
+                                     unit="bytes").inc(image.nbytes)
         return image.materialize(self.node_name)
 
     def restart_from_chain(self, fs, chain, client: Optional[str] = None,
@@ -94,19 +100,28 @@ class RestartEngine:
         """
         if not chain:
             raise RestartError("empty checkpoint chain")
-        yield self.sim.timeout(self.params.restart_proc_overhead)
-        path0, meta0 = chain[0]
-        folded = yield from self._read_image(fs, path0, meta0, client,
-                                             chunk_bytes)
-        for path, meta in chain[1:]:
-            delta = yield from self._read_image(fs, path, meta, client,
-                                                chunk_bytes)
-            folded = CheckpointImage.merge(folded, delta)
+        with self.sim.tracer.span("blcr.restart", mode="chain",
+                                  proc=chain[0][1].proc_name,
+                                  node=self.node_name) as sp:
+            yield self.sim.timeout(self.params.restart_proc_overhead)
+            path0, meta0 = chain[0]
+            folded = yield from self._read_image(fs, path0, meta0, client,
+                                                 chunk_bytes)
+            for path, meta in chain[1:]:
+                delta = yield from self._read_image(fs, path, meta, client,
+                                                    chunk_bytes)
+                folded = CheckpointImage.merge(folded, delta)
+            sp.annotate(links=len(chain), nbytes=folded.nbytes)
         return folded.materialize(self.node_name)
 
     def restart_from_memory(self, image: CheckpointImage) -> Generator:
         """Generator: restore directly from a resident image (future work
         Sec. VI): address-space rebuild at memcpy speed, no file I/O."""
-        yield self.sim.timeout(self.params.restart_proc_overhead)
-        yield self.sim.timeout(image.nbytes / self.params.memory_restart_bandwidth)
+        with self.sim.tracer.span("blcr.restart", mode="memory",
+                                  proc=image.proc_name,
+                                  node=self.node_name) as sp:
+            yield self.sim.timeout(self.params.restart_proc_overhead)
+            yield self.sim.timeout(
+                image.nbytes / self.params.memory_restart_bandwidth)
+            sp.annotate(nbytes=image.nbytes)
         return image.materialize(self.node_name)

@@ -6,11 +6,13 @@
     python -m repro compare   --app BT.C
     python -m repro scale     --ppn 1 2 4 8
     python -m repro interval  --mtbf-hours 6 --coverage 0.9
+    python -m repro observe   --app LU.C --out-dir ./obs
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional
 
 import numpy as np
@@ -26,9 +28,14 @@ from .analysis import (
     render_timeline,
     simulate_policy,
     speedup,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
 )
 from .params import NPB_TABLE
 from .scenario import Scenario
+from .simulate.metrics import MetricsRegistry
 from .simulate.trace import Tracer
 
 __all__ = ["main", "build_parser"]
@@ -69,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
     interval.add_argument("--coverage", type=float, nargs="+",
                           default=[0.0, 0.5, 0.9])
     interval.add_argument("--work-days", type=float, default=7.0)
+
+    obs = sub.add_parser(
+        "observe",
+        help="run one traced migration and export trace.json / "
+             "trace.jsonl / metrics.json")
+    common(obs)
+    obs.add_argument("--source", default="node3")
+    obs.add_argument("--transport", default="rdma",
+                     choices=["rdma", "ipoib", "tcp", "staging"])
+    obs.add_argument("--restart-mode", default="file",
+                     choices=["file", "memory"])
+    obs.add_argument("--out-dir", default=".",
+                     help="directory for the exported artifacts")
 
     sub.add_parser("validate",
                    help="re-measure headline numbers and diff vs the paper")
@@ -155,6 +175,35 @@ def _cmd_interval(args) -> str:
         f"{args.work_days:g}-day job)", rows, unit="mixed", digits=1)
 
 
+def _cmd_observe(args) -> str:
+    """One fully observed migration: spans + metrics, exported to disk."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                        n_compute=args.nodes, n_spare=1, iterations=40,
+                        seed=args.seed, transport=args.transport,
+                        restart_mode=args.restart_mode, trace=tracer,
+                        metrics=registry)
+    report = sc.run_migration(args.source, at=5.0)
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_json = os.path.join(args.out_dir, "trace.json")
+    trace_jsonl = os.path.join(args.out_dir, "trace.jsonl")
+    metrics_json = os.path.join(args.out_dir, "metrics.json")
+    n_events = write_chrome_trace(tracer, trace_json, metrics=registry)
+    n_rows = write_jsonl(tracer, trace_jsonl)
+    n_metrics = write_metrics(registry, metrics_json)
+    lines = [
+        f"Observed migration {args.source} -> {report.target} "
+        f"({args.app}.{args.nprocs}, {args.transport}/{args.restart_mode})",
+        summarize_trace(tracer, registry),
+        f"wrote {trace_json} ({n_events} events, load in "
+        f"ui.perfetto.dev or chrome://tracing)",
+        f"wrote {trace_jsonl} ({n_rows} records)",
+        f"wrote {metrics_json} ({n_metrics} instruments)",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_validate(args) -> str:
     from .validation import render_validation, run_validation
 
@@ -163,7 +212,7 @@ def _cmd_validate(args) -> str:
 
 _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "scale": _cmd_scale, "interval": _cmd_interval,
-             "validate": _cmd_validate}
+             "observe": _cmd_observe, "validate": _cmd_validate}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -79,6 +79,7 @@ class AggregatingSink:
                 f"checkpoint emitted {nbytes} bytes > chunk size "
                 f"{s.params.chunk_size}; drive the engine with "
                 f"chunk_bytes=params.chunk_size")
+        t_req = self.sim.now
         pool_offset = yield s.free_slots.get()  # backpressure on pool
         # Kernel-side copy into the pinned pool (the aggregation pipeline).
         yield s.net.transfer([s.fill_link], nbytes, label="mig-fill")
@@ -87,6 +88,14 @@ class AggregatingSink:
         desc = ChunkDescriptor(next(_chunk_seq), image.proc_name, offset,
                                nbytes, pool_offset)
         s.bytes_offered += nbytes
+        s._m_fill_seconds.observe(self.sim.now - t_req)
+        s._m_fill_bytes.inc(nbytes)
+        s._sample_occupancy()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "pool.chunk.fill", seq=desc.seq,
+                         proc=desc.proc_name, nbytes=nbytes,
+                         node=s.source.name, wait=self.sim.now - t_req)
         s.src_qp.post_send(("desc", desc.seq), _DESCRIPTOR_BYTES, payload=desc)
         # Don't wait for the pull: pipelining is the whole point.  The slot
         # comes back via the release path.
@@ -147,6 +156,19 @@ class RDMAMigrationSession:
         self.bytes_pulled = 0.0
         self.chunks_pulled = 0
         self._alive = False
+        # observability
+        self.tracer = cluster.trace
+        m = sim.metrics
+        self._m_fill_seconds = m.histogram("pool.chunk.fill_seconds", unit="s")
+        self._m_drain_seconds = m.histogram("pool.chunk.drain_seconds", unit="s")
+        self._m_fill_bytes = m.counter("pool.fill.bytes", unit="bytes")
+        self._m_pull_bytes = m.counter("pool.pull.bytes", unit="bytes")
+        self._m_chunks = m.counter("pool.chunks.pulled", unit="chunks")
+        self._m_occupancy = m.gauge("pool.occupancy", unit="chunks")
+
+    def _sample_occupancy(self) -> None:
+        """Chunks currently held (filled or in flight), for the pool gauge."""
+        self._m_occupancy.set(self.n_chunks - len(self.free_slots.items))
 
     # -- lifecycle -----------------------------------------------------------
     def setup(self, expected_procs: int) -> Generator:
@@ -171,6 +193,13 @@ class RDMAMigrationSession:
             self.dst_qp.post_recv(("rx", i))   # prepost descriptor credits
             self.src_qp.post_recv(("rel", i))  # prepost release credits
         self._alive = True
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "session.setup",
+                         source=self.source.name, target=self.target.name,
+                         chunks=self.n_chunks,
+                         pool_bytes=self.params.buffer_pool_size,
+                         expected_procs=expected_procs)
         self._pumps = [
             self.sim.spawn(self._target_pump(), name="mig-target-pump"),
             self.sim.spawn(self._source_release_pump(), name="mig-release-pump"),
@@ -190,6 +219,11 @@ class RDMAMigrationSession:
         per migration.
         """
         self._alive = False
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "session.teardown",
+                         source=self.source.name, target=self.target.name,
+                         bytes=self.bytes_pulled, chunks=self.chunks_pulled)
         if self.src_mr is not None:
             self.source.hca.deregister_mr(self.src_mr)
         if self.dst_mr is not None:
@@ -247,23 +281,32 @@ class RDMAMigrationSession:
                                name=f"mig-pull.{desc.seq}")
 
     def _pull_chunk(self, desc: ChunkDescriptor) -> Generator:
-        wr = ("pull", desc.seq)
-        self.dst_qp.post_rdma_read(wr, self.src_mr.rkey, desc.pool_offset,
-                                   desc.nbytes, self.dst_mr, desc.pool_offset)
-        wc = yield self.dst_qp.cq.poll(match=wr)
-        wc.raise_on_error()
-        data = None
-        if self.dst_pool is not None:
-            data = self.dst_pool[desc.pool_offset:
-                                 desc.pool_offset + desc.nbytes].copy()
-        # Reassemble: concatenate into the proper position of the proc's
-        # temporary checkpoint file (through the page cache: no fsync here).
-        handle = yield from self._target_handle(desc.proc_name)
-        yield from self.target.fs.write(handle, desc.nbytes, data=data,
-                                        through_cache=True,
-                                        offset=desc.stream_offset)
+        t0 = self.sim.now
+        with self.tracer.span("migration.rdma_pull", seq=desc.seq,
+                              proc=desc.proc_name,
+                              node=self.target.name) as sp:
+            wr = ("pull", desc.seq)
+            self.dst_qp.post_rdma_read(wr, self.src_mr.rkey, desc.pool_offset,
+                                       desc.nbytes, self.dst_mr,
+                                       desc.pool_offset)
+            wc = yield self.dst_qp.cq.poll(match=wr)
+            wc.raise_on_error()
+            data = None
+            if self.dst_pool is not None:
+                data = self.dst_pool[desc.pool_offset:
+                                     desc.pool_offset + desc.nbytes].copy()
+            # Reassemble: concatenate into the proper position of the proc's
+            # temporary checkpoint file (through the page cache: no fsync).
+            handle = yield from self._target_handle(desc.proc_name)
+            yield from self.target.fs.write(handle, desc.nbytes, data=data,
+                                            through_cache=True,
+                                            offset=desc.stream_offset)
+            sp.annotate(nbytes=desc.nbytes)
         self.bytes_pulled += desc.nbytes
         self.chunks_pulled += 1
+        self._m_drain_seconds.observe(self.sim.now - t0)
+        self._m_pull_bytes.inc(desc.nbytes)
+        self._m_chunks.inc()
         got = self._received.get(desc.proc_name, 0) + desc.nbytes
         self._received[desc.proc_name] = got
         # If the finalize marker already overtook us, it parked an event
@@ -293,6 +336,11 @@ class RDMAMigrationSession:
         meta = desc.image_meta
         self.images[desc.proc_name] = meta
         self._finals_seen += 1
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "pool.proc.complete",
+                         proc=desc.proc_name, node=self.target.name,
+                         nbytes=self._received.get(desc.proc_name, 0))
         if self._finals_seen == self.expected_procs:
             self.done.succeed()
 
@@ -305,3 +353,8 @@ class RDMAMigrationSession:
                 return
             self.src_qp.post_recv(("rel", next(_chunk_seq)))
             self.free_slots.put(wc.payload)
+            self._sample_occupancy()
+            trace = self.sim.trace
+            if trace is not None:
+                trace.record(self.sim.now, "pool.chunk.release",
+                             pool_offset=wc.payload, node=self.source.name)

@@ -181,87 +181,87 @@ class JobMigrationFramework:
             transport=self.transport, restart_mode=self.restart_mode,
             started_at=self.sim.now,
             ranks_migrated=[r.rank for r in victims])
+        # Span-based phase accounting: each bracket below emits paired
+        # ``*.start``/``*.end`` records with span ids, so two overlapping
+        # migrations (or nested sub-operations) stay distinguishable in
+        # the trace; NullTracer makes the whole thing a no-op.
         trace = self.cluster.trace
         t0 = self.sim.now
-        trace.record(t0, "migration.start", source=source, target=target,
-                     reason=reason)
-
-        # ---- Phase 1: Job Stall -------------------------------------------
-        trace.record(t0, "phase.start", phase=MigrationPhase.STALL.value)
-        yield from self.stall_all(FTB_MIGRATE,
-                                  {"source": source, "target": target})
-        t1 = self.sim.now
-        trace.record(t1, "phase.end", phase=MigrationPhase.STALL.value)
-        report.phase_seconds[MigrationPhase.STALL] = t1 - t0
-
-        # ---- Phase 2: Job Migration ----------------------------------------
-        trace.record(t1, "phase.start", phase=MigrationPhase.MIGRATION.value)
-        session = self._make_session(source_node, target_node)
-        yield from session.setup(expected_procs=len(victims))
-        engine = CheckpointEngine(self.sim, source,
-                                  params=self.cluster.testbed.blcr,
-                                  net=self.cluster.net)
-        sink = session.sink()
-        workers = [
-            self.sim.spawn(
-                engine.checkpoint(rank.osproc, sink,
-                                  chunk_bytes=self.params.chunk_size),
-                name=f"ckpt.r{rank.rank}")
-            for rank in victims
-        ]
-        yield self.sim.all_of(workers)
-        yield session.done  # every chunk reassembled at the target
-        # Source NLA announces process-images-in-place and goes inactive.
-        source_nla = self.jm.nla(source)
-        yield from source_nla.ftb.publish(FTB_MIGRATE_PIIC,
+        with trace.span("migration", source=source, target=target,
+                        reason=reason) as mig_span:
+            # ---- Phase 1: Job Stall ---------------------------------------
+            with trace.span("phase", phase=MigrationPhase.STALL.value):
+                yield from self.stall_all(FTB_MIGRATE,
                                           {"source": source, "target": target})
-        source_nla.to_inactive()
-        t2 = self.sim.now
-        trace.record(t2, "phase.end", phase=MigrationPhase.MIGRATION.value,
-                     bytes=session.bytes_pulled)
-        report.phase_seconds[MigrationPhase.MIGRATION] = t2 - t1
-        report.bytes_migrated = session.bytes_pulled
-        report.chunks_transferred = session.chunks_pulled
+            t1 = self.sim.now
+            report.phase_seconds[MigrationPhase.STALL] = t1 - t0
 
-        # ---- Phase 3: Restart on the spare ---------------------------------
-        trace.record(t2, "phase.start", phase=MigrationPhase.RESTART.value)
-        yield from self.jm.repair_tree(source, target)
-        yield from self.jm.ftb.publish(
-            FTB_RESTART, {"target": target,
-                          "ranks": [r.rank for r in victims]})
-        target_nla = self.jm.nla(target)
-        restarted = yield from target_nla.restart_processes(
-            session.images, session.paths, mode=self.restart_mode)
-        for rank in victims:
-            rank.relocate(target_node)
-            rank.osproc = restarted[rank.osproc.name]
-        session.teardown()
-        if target_node in self.cluster.spares:
-            self.cluster.promote_spare(target_node)
-        if reason != "user":
-            self.cluster.retire(source_node)
-        else:
-            # Maintenance drain: the node is healthy, so it re-arms as a hot
-            # spare (its NLA goes back to MIGRATION_SPARE) once serviced.
-            source_node.mark(NodeState.HEALTHY)
-            if source_node in self.cluster.compute:
-                self.cluster.compute.remove(source_node)
-                self.cluster.spares.append(source_node)
-            from ..launch.nla import NLAState
+            # ---- Phase 2: Job Migration ------------------------------------
+            with trace.span("phase",
+                            phase=MigrationPhase.MIGRATION.value) as p2:
+                session = self._make_session(source_node, target_node)
+                yield from session.setup(expected_procs=len(victims))
+                engine = CheckpointEngine(self.sim, source,
+                                          params=self.cluster.testbed.blcr,
+                                          net=self.cluster.net)
+                sink = session.sink()
+                workers = [
+                    self.sim.spawn(
+                        engine.checkpoint(rank.osproc, sink,
+                                          chunk_bytes=self.params.chunk_size),
+                        name=f"ckpt.r{rank.rank}")
+                    for rank in victims
+                ]
+                yield self.sim.all_of(workers)
+                yield session.done  # every chunk reassembled at the target
+                # Source NLA announces process-images-in-place, goes inactive.
+                source_nla = self.jm.nla(source)
+                yield from source_nla.ftb.publish(
+                    FTB_MIGRATE_PIIC, {"source": source, "target": target})
+                source_nla.to_inactive()
+                p2.annotate(bytes=session.bytes_pulled)
+            t2 = self.sim.now
+            report.phase_seconds[MigrationPhase.MIGRATION] = t2 - t1
+            report.bytes_migrated = session.bytes_pulled
+            report.chunks_transferred = session.chunks_pulled
 
-            source_nla.state = NLAState.MIGRATION_SPARE
-        t3 = self.sim.now
-        trace.record(t3, "phase.end", phase=MigrationPhase.RESTART.value)
-        report.phase_seconds[MigrationPhase.RESTART] = t3 - t2
+            # ---- Phase 3: Restart on the spare -----------------------------
+            with trace.span("phase", phase=MigrationPhase.RESTART.value):
+                yield from self.jm.repair_tree(source, target)
+                yield from self.jm.ftb.publish(
+                    FTB_RESTART, {"target": target,
+                                  "ranks": [r.rank for r in victims]})
+                target_nla = self.jm.nla(target)
+                restarted = yield from target_nla.restart_processes(
+                    session.images, session.paths, mode=self.restart_mode)
+                for rank in victims:
+                    rank.relocate(target_node)
+                    rank.osproc = restarted[rank.osproc.name]
+                session.teardown()
+                if target_node in self.cluster.spares:
+                    self.cluster.promote_spare(target_node)
+                if reason != "user":
+                    self.cluster.retire(source_node)
+                else:
+                    # Maintenance drain: the node is healthy, so it re-arms
+                    # as a hot spare (its NLA goes back to MIGRATION_SPARE)
+                    # once serviced.
+                    source_node.mark(NodeState.HEALTHY)
+                    if source_node in self.cluster.compute:
+                        self.cluster.compute.remove(source_node)
+                        self.cluster.spares.append(source_node)
+                    from ..launch.nla import NLAState
 
-        # ---- Phase 4: Resume --------------------------------------------------
-        trace.record(t3, "phase.start", phase=MigrationPhase.RESUME.value)
-        yield from self.resume_all()
-        t4 = self.sim.now
-        trace.record(t4, "phase.end", phase=MigrationPhase.RESUME.value)
-        trace.record(t4, "migration.end", source=source, target=target,
-                     total=t4 - t0)
-        report.phase_seconds[MigrationPhase.RESUME] = t4 - t3
+                    source_nla.state = NLAState.MIGRATION_SPARE
+            t3 = self.sim.now
+            report.phase_seconds[MigrationPhase.RESTART] = t3 - t2
+
+            # ---- Phase 4: Resume -------------------------------------------
+            with trace.span("phase", phase=MigrationPhase.RESUME.value):
+                yield from self.resume_all()
+            t4 = self.sim.now
+            report.phase_seconds[MigrationPhase.RESUME] = t4 - t3
+            mig_span.annotate(total=t4 - t0)
 
         self.reports.append(report)
         return report

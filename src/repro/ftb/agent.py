@@ -100,18 +100,32 @@ class FTBAgent:
         self._inbox.put(event)
 
     def _run(self) -> Generator:
+        sim = self.sim
+        m_deduped = sim.metrics.counter("ftb.deduped", unit="events")
+        m_delivered = sim.metrics.counter("ftb.delivered", unit="events")
         while True:
             event: FTBEvent = yield self._inbox.get()
             if not self.alive:
                 return
             if event.event_id in self._seen:
+                m_deduped.inc()
+                trace = sim.trace
+                if trace is not None:
+                    trace.record(sim.now, "ftb.dedup", node=self.node,
+                                 event=event.name, event_id=event.event_id)
                 continue
             self._seen.add(event.event_id)
             # Manager layer: match local subscriptions.
-            yield self.sim.timeout(self.backplane.params.route_cost)
+            yield sim.timeout(self.backplane.params.route_cost)
             for sub in self.subscriptions:
                 if match_mask(sub.mask, event.name):
                     sub.deliver(event)
+                    m_delivered.inc()
+                    trace = sim.trace
+                    if trace is not None:
+                        trace.record(sim.now, "ftb.deliver", node=self.node,
+                                     event=event.name,
+                                     client=sub.client_name)
             # Network layer: flood to tree neighbours.
             for peer in self.neighbours():
                 if event.event_id in peer._seen:
@@ -124,6 +138,12 @@ class FTBAgent:
                                              label=f"ftb:{event.name}")
         if peer.alive:
             peer.submit(event)
+            self.sim.metrics.counter("ftb.forwarded", unit="events").inc()
+            trace = self.sim.trace
+            if trace is not None:
+                trace.record(self.sim.now, "ftb.forward", src=self.node,
+                             dst=peer.node, event=event.name,
+                             nbytes=event.nbytes)
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "DOWN"

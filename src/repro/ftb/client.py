@@ -35,6 +35,14 @@ class FTBClient:
             self.agent = self.backplane.live_agent(self.node)
         return self.agent
 
+    def _note_publish(self, event: FTBEvent) -> None:
+        self.sim.metrics.counter("ftb.published", unit="events").inc()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "ftb.publish", node=self.node,
+                         client=self.name, event=event.name,
+                         severity=event.severity)
+
     def publish(self, event_name: str, payload: Optional[dict] = None,
                 severity: str = "INFO") -> Generator:
         """Generator: publish an event into the backplane."""
@@ -42,6 +50,7 @@ class FTBClient:
                          payload=payload or {}, severity=severity)
         yield self.sim.timeout(self.backplane.params.publish_cost)
         self._live_agent().submit(event)
+        self._note_publish(event)
         return event
 
     def publish_nowait(self, event_name: str, payload: Optional[dict] = None,
@@ -50,6 +59,7 @@ class FTBClient:
         event = FTBEvent(name=event_name, source=self.name,
                          payload=payload or {}, severity=severity)
         self._live_agent().submit(event)
+        self._note_publish(event)
         return event
 
     def subscribe(self, mask: str,

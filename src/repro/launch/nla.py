@@ -86,9 +86,11 @@ class NodeLaunchAgent:
                     self.node.fs, paths[name], metadata=image)
             return (name, proc)
 
-        workers = [self.sim.spawn(one(name), name=f"restart.{name}")
-                   for name in images]
-        results = yield self.sim.all_of(workers)
+        with self.sim.tracer.span("nla.restart", node=self.node.name,
+                                  mode=mode, procs=len(images)):
+            workers = [self.sim.spawn(one(name), name=f"restart.{name}")
+                       for name in images]
+            results = yield self.sim.all_of(workers)
         restarted = dict(results.values())
         self.to_ready()
         return restarted

@@ -76,6 +76,11 @@ class EthernetFabric:
         """
         sport, dport = self._port(src), self._port(dst)
         self.bytes_sent += nbytes
+        self.sim.metrics.counter("eth.bytes_sent", unit="bytes").inc(nbytes)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "eth.transfer", src=src, dst=dst,
+                         nbytes=nbytes, label=label)
         if src == dst:
             path = [sport.copy]
         else:

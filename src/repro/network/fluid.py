@@ -234,6 +234,14 @@ class FluidNetwork:
         self._flows: Set[Flow] = set()
         self._components: Set[_Component] = set()
         self.stats = FluidEngineStats()
+        m = sim.metrics
+        self._m_started = m.counter("fluid.flows.started", unit="flows")
+        self._m_completed = m.counter("fluid.flows.completed", unit="flows")
+        self._m_bytes = m.counter("fluid.bytes_completed", unit="bytes")
+        self._m_comp_flows = m.histogram("fluid.recompute.component_flows",
+                                         unit="flows")
+        self._m_comp_links = m.histogram("fluid.recompute.component_links",
+                                         unit="links")
 
     # -- public API ---------------------------------------------------------
     def transfer(self, path: Sequence[Link], nbytes: float,
@@ -280,6 +288,7 @@ class FluidNetwork:
         merged.claim_links()
         self._components.add(merged)
         self._flows.add(flow)
+        self._m_started.inc()
         self._reschedule(merged)
         return ev
 
@@ -318,6 +327,8 @@ class FluidNetwork:
         st.global_flows_equiv += len(self._flows)
         if len(comp.flows) > st.peak_component_size:
             st.peak_component_size = len(comp.flows)
+        self._m_comp_flows.observe(len(comp.flows))
+        self._m_comp_links.observe(len(comp.links))
         trace = self.sim.trace
         if trace is not None:
             trace.record(self.sim.now, "fluid.recompute",
@@ -395,6 +406,8 @@ class FluidNetwork:
             comp.flows.discard(flow)
             for link in flow.path:
                 link.flows.discard(flow)
+            self._m_completed.inc()
+            self._m_bytes.inc(flow.size)
             flow.event.succeed_later(flow, flow.latency)
         if not comp.flows:
             comp.alive = False

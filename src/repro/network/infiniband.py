@@ -109,12 +109,25 @@ class HCA:
         mr = MemoryRegion(self, nbytes, rkey=key, lkey=key, data=data,
                           name=name or f"{self.node}.mr{key}")
         self._mrs[mr.rkey] = mr
+        sim = self.fabric.sim
+        sim.metrics.counter("ib.mr.registered", unit="regions").inc()
+        sim.metrics.gauge("ib.mr.pinned_bytes", unit="bytes").inc(nbytes)
+        trace = sim.trace
+        if trace is not None:
+            trace.record(sim.now, "mr.register", node=self.node,
+                         nbytes=nbytes, rkey=mr.rkey, name=mr.name)
         return mr
 
     def deregister_mr(self, mr: MemoryRegion) -> None:
         """Unpin the region; its rkey is revoked *immediately*."""
+        if self._mrs.pop(mr.rkey, None) is not None:
+            sim = self.fabric.sim
+            sim.metrics.gauge("ib.mr.pinned_bytes", unit="bytes").dec(mr.nbytes)
+            trace = sim.trace
+            if trace is not None:
+                trace.record(sim.now, "mr.deregister", node=self.node,
+                             rkey=mr.rkey, name=mr.name)
         mr.valid = False
-        self._mrs.pop(mr.rkey, None)
 
     def deregister_all(self) -> None:
         """Protection-domain teardown: revoke every registered key."""
@@ -163,6 +176,11 @@ class IBFabric:
              extra_latency: float = 0.0) -> Event:
         """Raw fabric data movement (used by the QP layer)."""
         self.bytes_moved[kind] = self.bytes_moved.get(kind, 0.0) + nbytes
+        self.sim.metrics.counter("ib.bytes_moved", unit="bytes").inc(nbytes)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "ib.move", src=src, dst=dst,
+                         nbytes=nbytes, op=kind)
         latency = self.params.latency + self.params.wqe_overhead + extra_latency
         if src == dst:
             # Loopback through the HCA: charge latency only; memory-speed

@@ -74,8 +74,28 @@ class CompletionQueue:
         self.sim = sim
         self.name = name
         self._entries: Store = Store(sim)
+        m = sim.metrics
+        self._m_completed = m.counter("qp.wqe.completed", unit="wqes")
+        self._m_errors = m.counter("qp.wqe.errors", unit="wqes")
+        self._m_bytes = {
+            "SEND": m.counter("qp.send.bytes", unit="bytes"),
+            "RECV": m.counter("qp.recv.bytes", unit="bytes"),
+            "RDMA_READ": m.counter("qp.rdma_read.bytes", unit="bytes"),
+            "RDMA_WRITE": m.counter("qp.rdma_write.bytes", unit="bytes"),
+        }
 
     def push(self, wc: WorkCompletion) -> None:
+        self._m_completed.inc()
+        if wc.ok:
+            ctr = self._m_bytes.get(wc.opcode)
+            if ctr is not None and wc.nbytes:
+                ctr.inc(wc.nbytes)
+        else:
+            self._m_errors.inc()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "qp.complete", cq=self.name,
+                         opcode=wc.opcode, ok=wc.ok, nbytes=wc.nbytes)
         self._entries.put(wc)
 
     def poll(self, match: Optional[Any] = None) -> Event:
@@ -113,6 +133,7 @@ class QueuePair:
         self.qp_num = next(self._ids)
         self._recv_queue: Store = Store(sim)
         self._send_lock = Resource(sim, capacity=1)
+        self._m_posted = sim.metrics.counter("qp.wqe.posted", unit="wqes")
 
     # -- connection management ------------------------------------------------
     def connect(self, peer: "QueuePair") -> Generator:
@@ -129,6 +150,11 @@ class QueuePair:
         self.peer = peer
         peer.peer = self
         self.state = peer.state = QPState.RTS
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "qp.connect", qp=self.qp_num,
+                         peer=peer.qp_num, node=self.hca.node,
+                         peer_node=peer.hca.node)
         return self
 
     def destroy(self) -> None:
@@ -140,6 +166,10 @@ class QueuePair:
         is gone, so leaving it posted would park the peer's poller forever
         (one leaked process per teardown).
         """
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "qp.destroy", qp=self.qp_num,
+                         node=self.hca.node)
         if self.peer is not None and self.peer.peer is self:
             self.peer.peer = None
             self.peer.state = QPState.ERROR
@@ -166,11 +196,13 @@ class QueuePair:
 
     # -- two-sided verbs --------------------------------------------------------
     def post_recv(self, wr_id: Any, max_bytes: int = 2**62) -> None:
+        self._m_posted.inc()
         self._recv_queue.put(_PostedRecv(wr_id, max_bytes))
 
     def post_send(self, wr_id: Any, nbytes: int, payload: Any = None) -> None:
         """Post a SEND; completion (and the peer's RECV completion) arrive
         on the respective CQs."""
+        self._m_posted.inc()
         err = self._require_rts("post_send")
         if err is not None:
             self._fail(wr_id, "SEND", err)
@@ -209,6 +241,7 @@ class QueuePair:
         HCA, data crosses remote.tx → local.rx, and only the local CQ sees a
         completion.
         """
+        self._m_posted.inc()
         err = self._require_rts("rdma_read")
         if err is not None:
             self._fail(wr_id, "RDMA_READ", err)
@@ -223,6 +256,7 @@ class QueuePair:
                         nbytes: int, local_mr: Optional[MemoryRegion] = None,
                         local_offset: int = 0) -> None:
         """Push ``nbytes`` into the peer's registered memory (one-sided)."""
+        self._m_posted.inc()
         err = self._require_rts("rdma_write")
         if err is not None:
             self._fail(wr_id, "RDMA_WRITE", err)

@@ -49,13 +49,16 @@ class Scenario:
               migration_params: Optional[MigrationParams] = None,
               iterations: Optional[int] = None,
               testbed: Testbed = DEFAULT_TESTBED,
-              start_app: bool = True, trace=None) -> "Scenario":
+              start_app: bool = True, trace=None,
+              metrics=None) -> "Scenario":
         """Assemble the paper's testbed (8 compute + 1 spare by default).
 
         Pass a :class:`repro.simulate.Tracer` as ``trace`` to record phase
-        boundaries and protocol events for timeline analysis.
+        boundaries and protocol events for timeline analysis, and a
+        :class:`repro.simulate.MetricsRegistry` as ``metrics`` to collect
+        counters/gauges/histograms from every instrumented layer.
         """
-        sim = Simulator()
+        sim = Simulator(metrics=metrics)
         cluster = Cluster(sim, n_compute=n_compute, n_spare=n_spare,
                           testbed=testbed, with_pvfs=with_pvfs,
                           record_data=record_data, seed=seed, trace=trace)

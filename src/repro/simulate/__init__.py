@@ -17,9 +17,24 @@ from .core import (
     StopSimulation,
     Timeout,
 )
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
 from .resources import Container, PriorityStore, Resource, Store
 from .rng import RandomStreams
-from .trace import NullTracer, TraceRecord, Tracer
+from .schema import (
+    LAYERS,
+    TRACE_SCHEMA,
+    layers_covered,
+    validate_record,
+    validate_trace,
+)
+from .trace import NULL_TRACER, NullTracer, Span, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
@@ -40,5 +55,18 @@ __all__ = [
     "RandomStreams",
     "Tracer",
     "NullTracer",
+    "NULL_TRACER",
     "TraceRecord",
+    "Span",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TRACE_SCHEMA",
+    "LAYERS",
+    "validate_record",
+    "validate_trace",
+    "layers_covered",
 ]

@@ -342,9 +342,17 @@ class Simulator:
     trace:
         Optional :class:`repro.simulate.trace.Tracer` receiving kernel
         events; ``None`` disables tracing (the common, fast path).
+        Assigning a tracer (at construction or later) binds its span
+        clock to this simulator.
+    metrics:
+        Optional :class:`repro.simulate.metrics.MetricsRegistry`;
+        components create instruments through ``sim.metrics``.  When
+        omitted, the shared inert registry keeps instrumented hot paths
+        at no-op cost.
     """
 
-    def __init__(self, start: float = 0.0, trace: Any = None):
+    def __init__(self, start: float = 0.0, trace: Any = None,
+                 metrics: Any = None):
         self._now = float(start)
         self._queue: list = []
         self._seq = count()
@@ -353,7 +361,50 @@ class Simulator:
         #: Weak refs to every spawned process — lets leak tests enumerate
         #: still-alive (parked) processes without pinning dead ones.
         self._spawned: list = []
+        self._trace: Any = None
+        self._metrics: Any = None
         self.trace = trace
+        self.metrics = metrics
+
+    # -- observability ------------------------------------------------------
+    @property
+    def trace(self) -> Any:
+        """The bound tracer, or ``None`` on the untraced fast path."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, tracer: Any) -> None:
+        self._trace = tracer
+        if tracer is not None and hasattr(tracer, "bind"):
+            tracer.bind(self)
+
+    @property
+    def tracer(self) -> Any:
+        """Always-an-object tracer view (the shared null tracer when off).
+
+        Use for span-style instrumentation (``with sim.tracer.span(...)``)
+        where a ``None`` check would be awkward; keep the ``sim.trace is
+        not None`` guard on per-event hot paths that build field dicts.
+        """
+        if self._trace is not None:
+            return self._trace
+        from .trace import NULL_TRACER
+
+        return NULL_TRACER
+
+    @property
+    def metrics(self) -> Any:
+        """The bound metrics registry (a shared inert one by default)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: Any) -> None:
+        if registry is None:
+            from .metrics import NULL_METRICS
+
+            registry = NULL_METRICS
+        self._metrics = registry
+        registry.bind(lambda: self._now)
 
     # -- clock --------------------------------------------------------------
     @property

@@ -1,0 +1,338 @@
+"""Metrics registry: counters, gauges and sim-time-aware histograms.
+
+The observability counterpart to :mod:`repro.simulate.trace`: where the
+tracer records *events*, the registry aggregates *instruments* that any
+component can create by name::
+
+    m = sim.metrics
+    self._wqes = m.counter("qp.wqe.posted", unit="wqes")
+    ...
+    self._wqes.inc()
+
+Instruments are get-or-create by name, so the QP on every node shares one
+``qp.wqe.posted`` counter and the registry stays a flat, exportable
+namespace.  Counters and gauges keep a ``(sim_time, value)`` sample trail
+(the Chrome-trace exporter turns it into ``C`` counter tracks); histograms
+aggregate value distributions *and* bucket their observations into fixed
+sim-time windows, yielding the per-phase time series the paper's Figure
+4/6/7 analyses need.
+
+The untraced fast path uses :data:`NULL_METRICS`: a shared registry whose
+instruments are inert singletons, so instrumented hot paths (the fluid
+engine's recompute loop, per-WQE accounting) cost one no-op method call
+when metrics are off.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "NullMetricsRegistry", "NULL_METRICS"]
+
+#: Default value-bucket boundaries: decade steps spanning microseconds to
+#: gigabytes — wide enough for latencies and sizes alike.
+_DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 10)
+)
+
+
+class _Instrument:
+    """Shared shape: a named, typed instrument owned by one registry."""
+
+    __slots__ = ("registry", "name", "unit", "help")
+
+    kind = "instrument"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str, help: str):
+        self.registry = registry
+        self.name = name
+        self.unit = unit
+        self.help = help
+
+    def _now(self) -> float:
+        return self.registry.now()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (WQEs posted, bytes moved)."""
+
+    __slots__ = ("value", "samples")
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "", help: str = ""):
+        super().__init__(registry, name, unit, help)
+        self.value: float = 0.0
+        #: ``(sim_time, cumulative_value)`` after each increment.
+        self.samples: List[Tuple[float, float]] = []
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+        self.samples.append((self._now(), self.value))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "unit": self.unit, "value": self.value,
+                "n_samples": len(self.samples)}
+
+
+class Gauge(_Instrument):
+    """Point-in-time level (pool occupancy, queue depth, effective BW)."""
+
+    __slots__ = ("value", "samples")
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "", help: str = ""):
+        super().__init__(registry, name, unit, help)
+        self.value: float = 0.0
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, v: float) -> None:
+        self.value = v
+        self.samples.append((self._now(), self.value))
+
+    def inc(self, n: float = 1.0) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.set(self.value - n)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "unit": self.unit, "value": self.value,
+                "n_samples": len(self.samples)}
+
+
+class Histogram(_Instrument):
+    """Value distribution + sim-time-bucketed series of the observations.
+
+    ``buckets`` are the value-range upper bounds (classic histogram);
+    ``time_bucket`` is the width (in sim seconds) of the time windows the
+    observations are additionally aggregated into, so the analysis layer
+    can ask "what was the chunk-fill latency distribution during Phase 2"
+    without keeping every raw sample.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max",
+                 "time_bucket", "_windows")
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "", help: str = "",
+                 buckets: Optional[Tuple[float, ...]] = None,
+                 time_bucket: float = 1.0):
+        super().__init__(registry, name, unit, help)
+        self.bounds: Tuple[float, ...] = tuple(buckets) if buckets \
+            else _DEFAULT_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r}: buckets must be sorted")
+        if time_bucket <= 0:
+            raise ValueError(f"histogram {name!r}: time_bucket must be > 0")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.time_bucket = time_bucket
+        #: window index -> [count, sum] of observations in that window.
+        self._windows: Dict[int, List[float]] = {}
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self.bucket_counts[bisect_right(self.bounds, v)] += 1
+        w = int(self._now() // self.time_bucket)
+        slot = self._windows.get(w)
+        if slot is None:
+            self._windows[w] = [1, v]
+        else:
+            slot[0] += 1
+            slot[1] += v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def series(self) -> List[Dict[str, float]]:
+        """Per-time-window aggregates, in window order."""
+        out = []
+        for w in sorted(self._windows):
+            n, s = self._windows[w]
+            out.append({"t": w * self.time_bucket, "count": n, "sum": s,
+                        "mean": s / n if n else 0.0})
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "kind": self.kind, "unit": self.unit, "count": self.count,
+            "sum": self.total, "mean": self.mean,
+        }
+        if self.count:
+            d["min"] = self.min
+            d["max"] = self.max
+        d["buckets"] = [
+            {"le": bound, "count": n}
+            for bound, n in zip(list(self.bounds) + ["inf"],
+                                self.bucket_counts)
+            if n
+        ]
+        d["series"] = self.series()
+        return d
+
+
+class MetricsRegistry:
+    """A flat namespace of named instruments sharing one sim clock.
+
+    Attach to a simulation with ``Simulator(metrics=registry)`` (or
+    ``Scenario.build(metrics=registry)``); the clock is bound
+    automatically so samples are stamped with sim time.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- clock --------------------------------------------------------------
+    def bind(self, clock: Any) -> "MetricsRegistry":
+        """Bind the sample clock: a zero-arg callable or ``.now`` holder."""
+        if callable(clock):
+            self._clock = clock
+        else:
+            self._clock = lambda: clock.now
+        return self
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- instrument factories ------------------------------------------------
+    def _get(self, cls, name: str, **kwargs) -> _Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(self, name, **kwargs)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested {cls.kind}")
+        return inst
+
+    def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
+        return self._get(Counter, name, unit=unit, help=help)
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
+        return self._get(Gauge, name, unit=unit, help=help)
+
+    def histogram(self, name: str, unit: str = "", help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  time_bucket: float = 1.0) -> Histogram:
+        return self._get(Histogram, name, unit=unit, help=help,
+                         buckets=buckets, time_bucket=time_bucket)
+
+    # -- introspection / export ---------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """``{name: instrument summary}`` — the ``metrics.json`` payload."""
+        return {name: self._instruments[name].as_dict()
+                for name in sorted(self._instruments)}
+
+
+class _NullInstrument:
+    """Inert instrument: every mutator is a no-op."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    unit = ""
+    value = 0.0
+    samples: Tuple = ()
+    count = 0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def series(self) -> List:
+        return []
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Registry whose instruments discard everything (the fast default)."""
+
+    enabled = False
+
+    def bind(self, clock: Any) -> "NullMetricsRegistry":
+        return self
+
+    def now(self) -> float:
+        return 0.0
+
+    def counter(self, name: str, unit: str = "", help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, unit: str = "", help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  time_bucket: float = 1.0) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+
+#: Shared inert registry: ``sim.metrics`` resolves to this by default.
+NULL_METRICS = NullMetricsRegistry()

@@ -4,14 +4,33 @@ A :class:`Tracer` collects ``TraceRecord`` tuples that the analysis layer
 turns into phase decompositions (Figure 4/6/7) and byte accounting
 (Table I).  Tracing is opt-in: components call ``trace(...)`` through a
 no-op guard so untraced runs pay almost nothing.
+
+On top of raw records the tracer offers a **span API**: paired
+``<name>.start`` / ``<name>.end`` records carrying a monotonically
+increasing span id and the id of the enclosing span, so nested and
+concurrent operations (two overlapping migrations, per-chunk RDMA pulls
+inside Phase 2) stay distinguishable::
+
+    with tracer.span("migration.rdma_pull", rank=r) as sp:
+        ...
+        sp.annotate(nbytes=n)     # extra fields on the end record
+
+Spans need a clock; binding happens automatically when the tracer is
+handed to a :class:`~repro.simulate.core.Simulator` (directly or through
+``Cluster``/``Scenario``).  :data:`NULL_TRACER` is a shared inert
+instance for the untraced fast path — every API is a no-op, so code can
+be written against one surface without ``if trace is not None`` guards
+on cold paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import count
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "Span", "TraceSubscription",
+           "NULL_TRACER"]
 
 
 @dataclass(frozen=True)
@@ -34,26 +53,190 @@ class TraceRecord:
                 return v
         return default
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat ``{"t": ..., "kind": ..., **fields}`` (JSONL row shape)."""
+        out: Dict[str, Any] = {"t": self.time, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+
+class TraceSubscription:
+    """Handle returned by :meth:`Tracer.subscribe`; call to detach."""
+
+    __slots__ = ("_tracer", "fn", "active")
+
+    def __init__(self, tracer: "Tracer", fn: Callable[[TraceRecord], None]):
+        self._tracer = tracer
+        self.fn = fn
+        self.active = True
+
+    def unsubscribe(self) -> None:
+        if self.active:
+            self.active = False
+            self._tracer._detach(self)
+
+    __call__ = unsubscribe
+
+
+class Span:
+    """One in-flight traced operation (context manager).
+
+    Entering emits ``<name>.start`` with ``span`` (this span's id) and,
+    when nested, ``parent`` (the enclosing span's id); exiting emits
+    ``<name>.end`` with the same identity fields, the original
+    attributes, any :meth:`annotate` additions, and the measured
+    ``duration``.  A body that raises still closes the span, with an
+    ``error`` field, so traces of failed runs stay balanced.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "start_time", "_extra", "_open")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(tracer._span_ids)
+        self.parent_id: Optional[int] = None
+        self.start_time: float = 0.0
+        self._extra: Dict[str, Any] = {}
+        self._open = False
+
+    def annotate(self, **fields: Any) -> "Span":
+        """Attach extra fields to the eventual ``.end`` record."""
+        self._extra.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        t = self.tracer
+        self.start_time = t._clock_now()
+        stack = t._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        ident = {"span": self.span_id}
+        if self.parent_id is not None:
+            ident["parent"] = self.parent_id
+        t.record(self.start_time, f"{self.name}.start", **ident, **self.attrs)
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self.tracer
+        now = t._clock_now()
+        # Pop down to (and including) this span: an exception thrown across
+        # nested spans may unwind several levels through one __exit__ chain.
+        stack = t._stack()
+        if self.span_id in stack:
+            del stack[stack.index(self.span_id):]
+        fields: Dict[str, Any] = {"span": self.span_id}
+        if self.parent_id is not None:
+            fields["parent"] = self.parent_id
+        fields.update(self.attrs)
+        fields.update(self._extra)
+        fields["duration"] = now - self.start_time
+        if exc is not None:
+            fields["error"] = repr(exc)
+        t.record(now, f"{self.name}.end", **fields)
+        self._open = False
+        return False
+
 
 class Tracer:
     """Append-only in-memory trace with kind-indexed retrieval."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
         self.records: List[TraceRecord] = []
         self._by_kind: Dict[str, List[TraceRecord]] = {}
-        self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._subscribers: List[TraceSubscription] = []
+        #: Exceptions raised (and contained) by live subscribers, as
+        #: ``(record, subscription, exception)`` — a bad callback is
+        #: detached after its first failure instead of aborting record().
+        self.subscriber_errors: List[tuple] = []
+        self._clock = clock
+        self._task_key: Optional[Callable[[], Any]] = None
+        self._span_ids = count(1)
+        #: Per-task open-span stacks: nesting is tracked per simulated
+        #: process, so concurrent coroutines (two in-flight chunk pulls)
+        #: never appear as each other's parents.  ``None`` keys the
+        #: stack used outside any process context.
+        self._span_stacks: Dict[Any, List[int]] = {}
 
+    # -- clock binding ------------------------------------------------------
+    def bind(self, clock: Any) -> "Tracer":
+        """Bind the span clock: a zero-arg callable, or anything with
+        ``.now`` (a Simulator also contributes its ``active_process`` as
+        the span-nesting task key)."""
+        if callable(clock):
+            self._clock = clock
+        else:
+            self._clock = lambda: clock.now
+            if hasattr(clock, "active_process"):
+                self._task_key = lambda: clock.active_process
+        return self
+
+    def _clock_now(self) -> float:
+        if self._clock is None:
+            raise RuntimeError(
+                "tracer has no clock: pass it to Simulator(trace=...) or "
+                "call tracer.bind(sim) before opening spans")
+        return self._clock()
+
+    def _stack(self) -> List[int]:
+        key = self._task_key() if self._task_key is not None else None
+        stack = self._span_stacks.get(key)
+        if stack is None:
+            stack = self._span_stacks[key] = []
+        elif not stack and len(self._span_stacks) > 8:
+            # Opportunistic cleanup of stacks whose processes finished.
+            self._span_stacks = {k: v for k, v in self._span_stacks.items()
+                                 if v or k is key}
+        return stack
+
+    # -- recording ----------------------------------------------------------
     def record(self, time: float, kind: str, **fields: Any) -> None:
         rec = TraceRecord(time, kind, tuple(fields.items()))
         self.records.append(rec)
         self._by_kind.setdefault(kind, []).append(rec)
-        for sub in self._subscribers:
-            sub(rec)
+        if self._subscribers:
+            self._notify(rec)
 
-    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
-        """Register a live callback invoked on every new record."""
-        self._subscribers.append(fn)
+    def _notify(self, rec: TraceRecord) -> None:
+        # Iterate over a copy: a subscriber may unsubscribe (itself or
+        # another) from inside its callback.
+        for sub in list(self._subscribers):
+            if not sub.active:
+                continue
+            try:
+                sub.fn(rec)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                sub.active = False
+                self._detach(sub)
+                self.subscriber_errors.append((rec, sub, exc))
 
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager emitting paired ``.start``/``.end`` records."""
+        return Span(self, name, attrs)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> TraceSubscription:
+        """Register a live callback invoked on every new record.
+
+        Returns a :class:`TraceSubscription`; call it (or its
+        ``unsubscribe()``) to detach.  A callback that raises is detached
+        after its first failure and the error parked in
+        :attr:`subscriber_errors` — one bad observer cannot abort the
+        simulation mid-``record()``.
+        """
+        sub = TraceSubscription(self, fn)
+        self._subscribers.append(sub)
+        return sub
+
+    def _detach(self, sub: TraceSubscription) -> None:
+        try:
+            self._subscribers.remove(sub)
+        except ValueError:
+            pass
+
+    # -- retrieval ----------------------------------------------------------
     def of_kind(self, kind: str) -> List[TraceRecord]:
         return list(self._by_kind.get(kind, []))
 
@@ -71,17 +254,76 @@ class Tracer:
         return [r for r in src if t0 <= r.time <= t1]
 
 
+class _NullSpan:
+    """Shared inert span: enter/exit/annotate all no-ops."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSubscription:
+    __slots__ = ()
+    active = False
+
+    def unsubscribe(self) -> None:
+        pass
+
+    __call__ = unsubscribe
+
+
+_NULL_SUBSCRIPTION = _NullSubscription()
+
+
 class NullTracer:
-    """Drop-in tracer that discards everything (the fast default)."""
+    """Drop-in tracer that discards everything (the fast default).
+
+    Mirrors the full :class:`Tracer` surface — ``records``, ``kinds()``,
+    ``between()``, iteration, spans, subscriptions — so helpers written
+    against a real tracer (``extract_phases``, exporters) run unchanged
+    on an untraced simulation and simply see an empty trace.
+    """
+
+    #: Always-empty record list (shared; record() never appends).
+    records: Tuple[TraceRecord, ...] = ()
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         pass
 
-    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
-        pass
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def bind(self, clock: Any) -> "NullTracer":
+        return self
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> _NullSubscription:
+        return _NULL_SUBSCRIPTION
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
         return []
 
+    def kinds(self) -> List[str]:
+        return []
+
+    def between(self, t0: float, t1: float, kind: Optional[str] = None) -> List[TraceRecord]:
+        return []
+
     def __len__(self) -> int:
         return 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(())
+
+
+#: Shared inert tracer: ``sim.tracer`` resolves to this when tracing is off.
+NULL_TRACER = NullTracer()

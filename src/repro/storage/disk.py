@@ -44,21 +44,54 @@ class Disk:
         self.journal = Resource(sim, capacity=1)
         self.bytes_written: float = 0.0
         self.bytes_read: float = 0.0
+        self._m_written = sim.metrics.counter("disk.bytes_written",
+                                              unit="bytes")
+        self._m_read = sim.metrics.counter("disk.bytes_read", unit="bytes")
+        self._m_syncs = sim.metrics.counter("disk.syncs", unit="commits")
+        self._m_depth = sim.metrics.gauge("disk.queue_depth", unit="streams")
+        self._m_read_bw = sim.metrics.gauge("disk.read_bandwidth",
+                                            unit="bytes/s")
+
+    def _sample(self) -> None:
+        # Queue depth counts in-flight streams on both platter links; the
+        # effective read bandwidth reflects seek-thrash degradation (the
+        # curve that makes Phase 3 restart the dominant migration cost).
+        self._m_depth.set(len(self.write_link.flows)
+                         + len(self.read_link.flows))
+        self._m_read_bw.set(self.read_link.effective_capacity())
 
     def write_stream(self, nbytes: float, label: str = "") -> Event:
         """Stream ``nbytes`` to the platter (no journal commit)."""
         self.bytes_written += nbytes
-        return self.net.transfer([self.write_link], nbytes,
+        self._m_written.inc(nbytes)
+        done = self.net.transfer([self.write_link], nbytes,
                                  label=label or f"disk.{self.node}.write")
+        self._sample()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "disk.write", node=self.node,
+                         nbytes=nbytes)
+        return done
 
     def read_stream(self, nbytes: float, label: str = "") -> Event:
         """Stream ``nbytes`` off the platter (cold read)."""
         self.bytes_read += nbytes
-        return self.net.transfer([self.read_link], nbytes,
+        self._m_read.inc(nbytes)
+        done = self.net.transfer([self.read_link], nbytes,
                                  label=label or f"disk.{self.node}.read")
+        self._sample()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "disk.read", node=self.node,
+                         nbytes=nbytes)
+        return done
 
     def sync(self) -> Generator:
         """Generator: one journal commit (serialized across callers)."""
         with self.journal.request() as req:
             yield req
             yield self.sim.timeout(self.params.sync_cost)
+        self._m_syncs.inc()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "disk.sync", node=self.node)

@@ -136,6 +136,10 @@ class LocalFS:
         f = SimFile(path, self.record_data)
         self.files[path] = f
         yield self.sim.timeout(self.params.open_cost)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "fs.create", node=self.disk.node,
+                         path=path)
         return FileHandle(self, f)
 
     def open(self, path: str) -> Generator:
@@ -159,6 +163,11 @@ class LocalFS:
             yield from self.cache.write(nbytes, label=f"fs:{handle.file.path}")
         else:
             yield self.disk.write_stream(nbytes, label=f"fs:{handle.file.path}")
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "fs.write", node=self.disk.node,
+                         path=handle.file.path, nbytes=nbytes,
+                         cached=through_cache)
         if offset is None:
             handle.file.write_at(handle.pos, nbytes, data)
             handle.pos += nbytes
@@ -191,3 +200,8 @@ class LocalFS:
         else:
             yield self.sim.timeout(0)
         handle.closed = True
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "fs.close", node=self.disk.node,
+                         path=handle.file.path, nbytes=handle.file.size,
+                         synced=sync)

@@ -102,6 +102,19 @@ class PVFS:
         with self.metadata.request() as req:
             yield req
             yield self.sim.timeout(cost)
+        self.sim.metrics.counter("pvfs.meta_ops", unit="ops").inc()
+
+    def _sample_servers(self) -> None:
+        """Snapshot per-fleet stream depth and degraded write bandwidth —
+        the contention signal behind CR(PVFS) losing to CR(ext3) in Fig 7."""
+        metrics = self.sim.metrics
+        if not metrics.enabled:
+            return
+        depth = sum(len(s.write_link.flows) + len(s.read_link.flows)
+                    for s in self.servers)
+        metrics.gauge("pvfs.server.queue_depth", unit="streams").set(depth)
+        metrics.gauge("pvfs.server.write_bandwidth", unit="bytes/s").set(
+            sum(s.write_link.effective_capacity() for s in self.servers))
 
     # -- open/create --------------------------------------------------------
     def create(self, path: str, client: str) -> Generator:
@@ -150,10 +163,17 @@ class PVFS:
                  server.write_link], part,
                 latency=self.fabric.params.latency,
                 label=f"pvfs:w:{handle.file.path}@{server.node}"))
+        self._sample_servers()
         if flows:
             yield self.sim.all_of(flows)
         else:
             yield self.sim.timeout(0)
+        self.sim.metrics.counter("pvfs.bytes_written", unit="bytes").inc(nbytes)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "pvfs.write", client=handle.client,
+                         path=handle.file.path, nbytes=nbytes,
+                         stripes=len(flows))
         handle.file.write_at(handle.pos, nbytes, data)
         handle.pos += nbytes
 
@@ -176,10 +196,17 @@ class PVFS:
                  handle.stream_cap], part,
                 latency=self.fabric.params.latency,
                 label=f"pvfs:r:{handle.file.path}@{server.node}"))
+        self._sample_servers()
         if flows:
             yield self.sim.all_of(flows)
         else:
             yield self.sim.timeout(0)
+        self.sim.metrics.counter("pvfs.bytes_read", unit="bytes").inc(n)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "pvfs.read", client=handle.client,
+                         path=handle.file.path, nbytes=n,
+                         stripes=len(flows))
         if offset is None:
             handle.pos += n
         return handle.file.read_at(pos, n)

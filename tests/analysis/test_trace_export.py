@@ -1,0 +1,142 @@
+"""Exporters (JSONL, Chrome trace) and span-aware timeline extraction."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    chrome_trace,
+    extract_phases,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.simulate import MetricsRegistry, Simulator, Tracer
+
+
+def make_trace():
+    sim = Simulator(trace=Tracer())
+    t = sim.trace
+
+    def run(sim):
+        with t.span("phase", phase="Job Stall", node="node0"):
+            yield sim.timeout(1.0)
+        with t.span("phase", phase="Job Migration", node="node0") as sp:
+            t.record(sim.now, "pool.chunk.fill", seq=0, proc="p0",
+                     nbytes=1024, node="node0", wait=0.0)
+            yield sim.timeout(2.0)
+            sp.annotate(bytes=1024)
+
+    sim.run(until=sim.spawn(run(sim)))
+    return sim, t
+
+
+def test_write_jsonl_round_trip(tmp_path):
+    _, t = make_trace()
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(t, str(path))
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(rows) == n == len(t)
+    assert all("t" in r and "kind" in r for r in rows)
+    fill = next(r for r in rows if r["kind"] == "pool.chunk.fill")
+    assert fill["nbytes"] == 1024
+
+
+def test_chrome_trace_structure():
+    _, t = make_trace()
+    doc = chrome_trace(t)
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"phase:Job Stall",
+                                       "phase:Job Migration"}
+    mig = next(e for e in xs if e["name"] == "phase:Job Migration")
+    assert mig["dur"] == pytest.approx(2e6)  # microseconds
+    assert mig["args"]["bytes"] == 1024  # annotation survives the merge
+    assert isinstance(mig["pid"], int) and isinstance(mig["tid"], int)
+    # Instant event for the span-less record; metadata names the lanes.
+    assert any(e["ph"] == "i" and e["name"] == "pool.chunk.fill"
+               for e in events)
+    names = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name"
+               and e["args"]["name"] == "node0" for e in names)
+
+
+def test_chrome_trace_counter_track(tmp_path):
+    sim, t = make_trace()
+    m = MetricsRegistry(clock=lambda: 1.0)
+    m.counter("pool.fill.bytes", unit="bytes").inc(4096)
+    doc = chrome_trace(t, metrics=m)
+    cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert cs and cs[0]["name"] == "pool.fill.bytes"
+    assert cs[0]["args"]["value"] == 4096
+    # And the whole document survives a JSON round trip on disk.
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(t, str(path), metrics=m)
+    loaded = json.load(open(path))
+    assert len(loaded["traceEvents"]) == n > 0
+
+
+def test_chrome_trace_keeps_unclosed_spans():
+    t = Tracer(clock=lambda: 0.0)
+    t.span("dangling", node="n1").__enter__()
+    doc = chrome_trace(t)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs[0]["name"] == "dangling (unclosed)"
+    assert xs[0]["dur"] == 0.0
+
+
+def test_write_metrics_payload(tmp_path):
+    m = MetricsRegistry(clock=lambda: 0.0)
+    m.counter("a", unit="B").inc(7)
+    m.histogram("h").observe(0.5)
+    path = tmp_path / "metrics.json"
+    n = write_metrics(m, str(path))
+    payload = json.load(open(path))
+    assert n == 2
+    assert payload["a"]["value"] == 7
+    assert payload["h"]["count"] == 1
+
+
+def test_summarize_trace_mentions_phases_and_metrics():
+    _, t = make_trace()
+    m = MetricsRegistry(clock=lambda: 0.0)
+    m.counter("pool.fill.bytes", unit="bytes").inc(1024)
+    out = summarize_trace(t, m)
+    assert "Job Migration" in out
+    assert "pool.fill.bytes" in out
+    assert "records:" in out
+
+
+def test_extract_phases_concurrent_same_name():
+    """Two overlapping migrations run the same-named phases; span ids keep
+    the pairs straight."""
+    sim = Simulator(trace=Tracer())
+    t = sim.trace
+
+    def cycle(sim, delay):
+        with t.span("phase", phase="Job Stall"):
+            yield sim.timeout(delay)
+
+    sim.spawn(cycle(sim, 2.0))
+    sim.spawn(cycle(sim, 3.0))
+    sim.run()
+    ivs = extract_phases(t)
+    assert [iv.duration for iv in ivs] == [2.0, 3.0]
+    assert all(iv.name == "Job Stall" for iv in ivs)
+
+
+def test_extract_phases_legacy_records_still_strict():
+    t = Tracer()
+    t.record(0.0, "phase.start", phase="p")
+    with pytest.raises(ValueError, match="started twice"):
+        t.record(0.5, "phase.start", phase="p")
+        extract_phases(t)
+    t2 = Tracer()
+    t2.record(0.0, "phase.end", phase="p")
+    with pytest.raises(ValueError, match="without start"):
+        extract_phases(t2)
+    t3 = Tracer()
+    t3.record(0.0, "phase.start", phase="p")
+    with pytest.raises(ValueError, match="never ended"):
+        extract_phases(t3)

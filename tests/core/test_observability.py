@@ -1,0 +1,102 @@
+"""End-to-end observability: a traced Scenario migration replayed against
+the schema registry, with metrics coverage across every layer."""
+
+import json
+
+import pytest
+
+from repro.analysis import chrome_trace, extract_phases
+from repro.scenario import Scenario
+from repro.simulate import (
+    LAYERS,
+    MetricsRegistry,
+    TRACE_SCHEMA,
+    Tracer,
+    layers_covered,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=20, trace=tracer, metrics=registry)
+    report = sc.run_migration("node1", at=2.0)
+    return tracer, registry, report
+
+
+def test_every_record_validates_against_schema(observed):
+    tracer, _, _ = observed
+    assert len(tracer) > 0
+    assert validate_trace(tracer) == []
+
+
+def test_trace_spans_at_least_20_kinds_across_all_layers(observed):
+    tracer, _, _ = observed
+    kinds = set(tracer.kinds())
+    assert len(kinds) >= 20, sorted(kinds)
+    assert layers_covered(tracer) == set(LAYERS)
+
+
+def test_schema_covers_only_known_layers():
+    assert set(LAYERS) == {"framework", "buffer-pool", "checkpoint",
+                           "network", "ftb", "storage"}
+    for spec in TRACE_SCHEMA.values():
+        assert spec.layer in LAYERS
+        assert spec.doc
+
+
+def test_phase_spans_match_report(observed):
+    tracer, _, report = observed
+    intervals = extract_phases(tracer)
+    assert [iv.name for iv in intervals] == [
+        "Job Stall", "Job Migration", "Restart", "Resume"]
+    by_name = {iv.name: iv.duration for iv in intervals}
+    for phase, seconds in report.phase_seconds.items():
+        assert by_name[phase.value] == pytest.approx(seconds)
+    # migration span carries the total and parents the phase spans.
+    mig = tracer.of_kind("migration.start")[0]
+    end = tracer.of_kind("migration.end")[0]
+    assert end["total"] == pytest.approx(report.total_seconds)
+    for rec in tracer.of_kind("phase.start"):
+        assert rec["parent"] == mig["span"]
+
+
+def test_metrics_cover_every_layer(observed):
+    _, registry, report = observed
+    names = set(registry.names())
+    for expected in ("qp.wqe.posted", "qp.wqe.completed",
+                     "qp.rdma_read.bytes", "pool.fill.bytes",
+                     "pool.chunk.fill_seconds", "pool.occupancy",
+                     "ftb.published", "ftb.delivered",
+                     "fluid.recompute.component_flows",
+                     "disk.bytes_written", "blcr.bytes_scanned",
+                     "eth.bytes_sent", "ib.bytes_moved"):
+        assert expected in names, f"missing {expected}"
+    # Byte accounting agrees with the report.
+    pulled = registry.get("pool.pull.bytes").value
+    assert pulled == report.bytes_migrated
+    assert registry.get("blcr.bytes_scanned").value == report.bytes_migrated
+
+
+def test_chrome_trace_from_scenario_round_trips(observed):
+    tracer, registry, _ = observed
+    doc = chrome_trace(tracer, metrics=registry)
+    text = json.dumps(doc, default=str)
+    loaded = json.loads(text)
+    events = loaded["traceEvents"]
+    assert events
+    phs = {e["ph"] for e in events}
+    assert {"X", "C", "M"} <= phs
+    # Spans nest: every X event with a parent arg closes inside it.
+    assert any(e["ph"] == "X" and e["name"].startswith("phase:")
+               for e in events)
+
+
+def test_untraced_scenario_still_runs():
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=20)
+    report = sc.run_migration("node1", at=2.0)
+    assert report.total_seconds > 0

@@ -1,0 +1,260 @@
+"""Span API, metrics registry, subscriptions, and NullTracer parity."""
+
+import pytest
+
+from repro.simulate import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    NullTracer,
+    Simulator,
+    Tracer,
+)
+
+
+# ---------------------------------------------------------------------------
+# Span API
+# ---------------------------------------------------------------------------
+
+def test_span_emits_paired_records_with_duration():
+    t = Tracer()
+    clock = [0.0]
+    t.bind(lambda: clock[0])
+    with t.span("op", rank=3) as sp:
+        clock[0] = 2.5
+        sp.annotate(nbytes=100)
+    starts = t.of_kind("op.start")
+    ends = t.of_kind("op.end")
+    assert len(starts) == len(ends) == 1
+    assert starts[0]["rank"] == 3
+    assert starts[0]["span"] == ends[0]["span"]
+    assert ends[0]["nbytes"] == 100
+    assert ends[0]["duration"] == pytest.approx(2.5)
+
+
+def test_span_nesting_sets_parent():
+    t = Tracer(clock=lambda: 0.0)
+    with t.span("outer"):
+        with t.span("inner"):
+            pass
+    outer = t.of_kind("outer.start")[0]
+    inner = t.of_kind("inner.start")[0]
+    assert outer.get("parent") is None
+    assert inner["parent"] == outer["span"]
+    # After both closed, a new span is top-level again.
+    with t.span("after"):
+        pass
+    assert t.of_kind("after.start")[0].get("parent") is None
+
+
+def test_span_error_still_closes():
+    t = Tracer(clock=lambda: 1.0)
+    with pytest.raises(RuntimeError):
+        with t.span("fragile"):
+            raise RuntimeError("boom")
+    end = t.of_kind("fragile.end")[0]
+    assert "boom" in end["error"]
+
+
+def test_span_without_clock_raises():
+    t = Tracer()
+    with pytest.raises(RuntimeError):
+        with t.span("op"):
+            pass
+
+
+def test_concurrent_coroutines_get_independent_stacks():
+    """Interleaved sim processes must not parent each other's spans."""
+    sim = Simulator()
+    tracer = Tracer()
+    sim.trace = tracer
+
+    def worker(sim, label, delay):
+        with tracer.span("job", label=label):
+            yield sim.timeout(delay)
+            with tracer.span("step", label=label):
+                yield sim.timeout(delay)
+
+    sim.spawn(worker(sim, "a", 1.0))
+    sim.spawn(worker(sim, "b", 1.5))
+    sim.run()
+    jobs = {r["label"]: r["span"] for r in tracer.of_kind("job.start")}
+    for step in tracer.of_kind("step.start"):
+        assert step["parent"] == jobs[step["label"]]
+
+
+def test_simulator_binds_tracer_clock():
+    sim = Simulator(start=4.0, trace=Tracer())
+
+    def run(sim):
+        with sim.tracer.span("tick"):
+            yield sim.timeout(1.0)
+
+    sim.run(until=sim.spawn(run(sim)))
+    assert sim.trace.of_kind("tick.start")[0].time == 4.0
+    assert sim.trace.of_kind("tick.end")[0].time == 5.0
+
+
+# ---------------------------------------------------------------------------
+# Subscriptions
+# ---------------------------------------------------------------------------
+
+def test_subscribe_returns_unsubscribe_handle():
+    t = Tracer()
+    got = []
+    sub = t.subscribe(got.append)
+    t.record(0.0, "a")
+    sub.unsubscribe()
+    t.record(1.0, "b")
+    assert [r.kind for r in got] == ["a"]
+    sub.unsubscribe()  # idempotent
+
+
+def test_bad_subscriber_is_isolated_and_detached():
+    t = Tracer()
+    good = []
+
+    def bad(rec):
+        raise ValueError("observer bug")
+
+    t.subscribe(bad)
+    t.subscribe(good.append)
+    t.record(0.0, "x")  # must not raise
+    t.record(1.0, "y")
+    assert [r.kind for r in good] == ["x", "y"]
+    assert len(t.subscriber_errors) == 1  # detached after first failure
+    rec, sub, exc = t.subscriber_errors[0]
+    assert rec.kind == "x" and isinstance(exc, ValueError)
+    assert not sub.active
+
+
+# ---------------------------------------------------------------------------
+# NullTracer parity
+# ---------------------------------------------------------------------------
+
+def test_null_tracer_full_surface_parity():
+    real, null = Tracer(clock=lambda: 0.0), NullTracer()
+    for api in ("record", "span", "bind", "subscribe", "of_kind", "kinds",
+                "between", "records", "__len__", "__iter__"):
+        assert hasattr(null, api), f"NullTracer missing {api}"
+    # Same call patterns, empty results.
+    null.record(0.0, "k", a=1)
+    with null.span("op", rank=1) as sp:
+        sp.annotate(n=2)
+    sub = null.subscribe(lambda r: None)
+    sub.unsubscribe()
+    sub()
+    assert null.bind(object()) is null
+    assert list(null) == []
+    assert len(null) == 0
+    assert null.records == ()
+    assert null.kinds() == real.kinds() == []
+    assert null.of_kind("k") == []
+    assert null.between(0.0, 1.0) == []
+    assert null.between(0.0, 1.0, kind="k") == []
+
+
+def test_null_tracer_spans_run_without_clock():
+    sim = Simulator()  # untraced: sim.tracer is the shared NULL_TRACER
+    assert sim.tracer is NULL_TRACER
+
+    def run(sim):
+        with sim.tracer.span("anything", deep=True):
+            yield sim.timeout(1.0)
+
+    sim.run(until=sim.spawn(run(sim)))
+    assert sim.now == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+def test_counter_monotonic_and_sampled():
+    m = MetricsRegistry(clock=lambda: 7.0)
+    c = m.counter("bytes", unit="B")
+    c.inc(10)
+    c.inc(5)
+    assert c.value == 15
+    assert c.samples == [(7.0, 10.0), (7.0, 15.0)]
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("depth")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value == 3
+    assert [v for _, v in g.samples] == [4, 5, 3]
+
+
+def test_histogram_buckets_and_time_series():
+    clock = [0.0]
+    m = MetricsRegistry(clock=lambda: clock[0])
+    h = m.histogram("lat", buckets=(1.0, 10.0), time_bucket=2.0)
+    for t, v in [(0.5, 0.5), (1.0, 5.0), (3.0, 50.0)]:
+        clock[0] = t
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx((0.5 + 5.0 + 50.0) / 3)
+    assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, overflow
+    series = h.series()
+    assert series[0] == {"t": 0.0, "count": 2, "sum": 5.5, "mean": 2.75}
+    assert series[1]["t"] == 2.0 and series[1]["count"] == 1
+    d = h.as_dict()
+    assert d["min"] == 0.5 and d["max"] == 50.0
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    m = MetricsRegistry()
+    assert m.counter("x") is m.counter("x")
+    with pytest.raises(TypeError):
+        m.gauge("x")
+    assert m.names() == ["x"]
+    assert len(m) == 1
+    assert isinstance(m.as_dict()["x"], dict)
+
+
+def test_histogram_validation():
+    m = MetricsRegistry()
+    with pytest.raises(ValueError):
+        m.histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        m.histogram("bad2", time_bucket=0.0)
+
+
+def test_null_metrics_is_inert():
+    assert not NULL_METRICS.enabled
+    c = NULL_METRICS.counter("x")
+    c.inc(5)
+    NULL_METRICS.gauge("g").set(1)
+    NULL_METRICS.histogram("h").observe(2)
+    assert c.value == 0.0
+    assert NULL_METRICS.as_dict() == {}
+    assert NULL_METRICS.get("x") is None
+    assert len(NULL_METRICS) == 0
+
+
+def test_simulator_binds_metrics_clock():
+    m = MetricsRegistry()
+    sim = Simulator(metrics=m)
+    assert sim.metrics is m
+
+    def run(sim):
+        yield sim.timeout(3.0)
+        sim.metrics.counter("ticks").inc()
+
+    sim.run(until=sim.spawn(run(sim)))
+    assert m.counter("ticks").samples == [(3.0, 1.0)]
+
+
+def test_untraced_simulator_uses_null_registry():
+    sim = Simulator()
+    assert sim.metrics is NULL_METRICS
+    assert isinstance(Counter, type) and isinstance(Gauge, type) \
+        and isinstance(Histogram, type)

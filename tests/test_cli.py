@@ -55,6 +55,25 @@ def test_compare_command_small(capsys):
     assert "speedup over CR(pvfs)" in out
 
 
+def test_observe_command_exports_artifacts(capsys, tmp_path):
+    import json
+
+    out = run_cli(capsys, "observe", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--source", "node1",
+                  "--out-dir", str(tmp_path))
+    assert "Observed migration node1 -> spare0" in out
+    assert "wrote" in out
+    doc = json.load(open(tmp_path / "trace.json"))
+    events = doc["traceEvents"]
+    assert events, "chrome trace must be non-empty"
+    assert {"X", "C", "M"} <= {e["ph"] for e in events}
+    rows = [json.loads(line)
+            for line in (tmp_path / "trace.jsonl").read_text().splitlines()]
+    assert rows and all("kind" in r for r in rows)
+    metrics = json.load(open(tmp_path / "metrics.json"))
+    assert metrics["pool.pull.bytes"]["value"] > 0
+
+
 def test_bad_app_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["migrate", "--app", "FT.C"])
