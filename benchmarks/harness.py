@@ -1,0 +1,336 @@
+"""Benchmark regression harness: machine-readable BENCH_*.json artifacts.
+
+Each bench replays one of the paper's measurements (Fig. 4 phase
+breakdown, Fig. 6 ranks/node sweep, Fig. 7 migration-vs-CR, Table I data
+movement) on the seeded simulator and emits a schema-versioned JSON
+artifact containing
+
+* ``results`` — the sim-time numbers (deterministic for a fixed seed),
+* ``paper_deltas`` — measured / paper-reference ratios,
+* ``critical_path`` — per-phase per-component blame from the causal
+  profiler, plus the dominant component,
+* ``wall_seconds`` — how long the bench itself took to run.
+
+``run_benches`` additionally diffs every numeric leaf of ``results``
+against the committed ``benchmarks/baselines.json`` and reports
+regressions beyond a relative tolerance — the contract behind the CI
+``bench-regression`` job and the ``repro bench`` subcommand.  Because
+the simulator is deterministic, the default tolerance is tight; it
+exists to absorb float-accumulation drift across platforms, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import (
+    build_span_dag,
+    critical_path,
+    cr_cycle_breakdown,
+    dominant_component,
+    migration_cycle_breakdown,
+    migration_phase_breakdown,
+    speedup,
+)
+from repro.scenario import Scenario
+from repro.simulate import Tracer
+
+from .paper_reference import (
+    FIG4_TOTAL_S,
+    FIG6_TOTAL_S,
+    FIG7,
+    HEADLINE_SPEEDUP_EXT3,
+    HEADLINE_SPEEDUP_PVFS,
+    TABLE1_MB,
+)
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BENCHES", "run_bench", "run_benches",
+           "compare_to_baselines", "flatten_results", "default_baselines_path"]
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_REL_TOLERANCE = 0.05
+
+
+def default_baselines_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "baselines.json")
+
+
+# -- building blocks ---------------------------------------------------------
+
+def _traced_migration(app: str, nprocs: int = 64, n_compute: int = 8,
+                      seed: int = 0) -> Tuple[Any, Tracer]:
+    tracer = Tracer()
+    sc = Scenario.build(app=app, nprocs=nprocs, n_compute=n_compute,
+                        n_spare=1, iterations=40, seed=seed, trace=tracer)
+    report = sc.run_migration("node3", at=5.0)
+    return report, tracer
+
+
+def _cr_cycle(app: str, dest: str, seed: int = 0):
+    sc = Scenario.build(app=app, nprocs=64, n_compute=8, n_spare=1,
+                        iterations=40, seed=seed, with_pvfs=True)
+    strategy = sc.cr_strategy(dest)
+
+    def drive(sim):
+        yield sim.timeout(5.0)
+        ckpt = yield from strategy.checkpoint()
+        restart = yield from strategy.restart()
+        return ckpt, restart
+
+    return sc.sim.run(until=sc.sim.spawn(drive(sc.sim)))
+
+
+def _blame(tracer: Tracer) -> Tuple[Dict[str, Dict[str, float]],
+                                    Dict[str, float]]:
+    cp = critical_path(build_span_dag(tracer))
+    blame = {phase: {comp: round(sec, 6) for comp, sec in comps.items()}
+             for phase, comps in cp.blame().items()}
+    name, sec = dominant_component(cp)
+    return blame, {"component": name, "seconds": round(sec, 6),
+                   "share": round(sec / max(cp.total, 1e-12), 4)}
+
+
+def _delta(measured: float, paper: float) -> Dict[str, float]:
+    return {"measured": round(measured, 6), "paper": paper,
+            "ratio": round(measured / paper, 4) if paper else float("inf")}
+
+
+# -- the benches -------------------------------------------------------------
+
+def bench_fig4() -> Dict[str, Any]:
+    """Fig. 4: migration phase breakdown, 64 ranks on 8 nodes, per app."""
+    results: Dict[str, Any] = {}
+    deltas: Dict[str, Any] = {}
+    blames: Dict[str, Any] = {}
+    dominants: Dict[str, Any] = {}
+    for app in ("LU.C", "BT.C", "SP.C"):
+        report, tracer = _traced_migration(app)
+        results[app] = {k: round(v, 6)
+                        for k, v in migration_phase_breakdown(report).items()}
+        deltas[app] = {"total": _delta(report.total_seconds,
+                                       FIG4_TOTAL_S[app])}
+        blames[app], dominants[app] = _blame(tracer)
+    return {"title": "Fig. 4 — migration phase breakdown (64 ranks)",
+            "results": results, "paper_reference": FIG4_TOTAL_S,
+            "paper_deltas": deltas, "critical_path": blames,
+            "dominant": dominants}
+
+
+def bench_fig6() -> Dict[str, Any]:
+    """Fig. 6: LU.C ranks/node sweep on 8 compute nodes."""
+    results: Dict[str, Any] = {}
+    deltas: Dict[str, Any] = {}
+    blames: Dict[str, Any] = {}
+    dominants: Dict[str, Any] = {}
+    for ppn, paper_total in FIG6_TOTAL_S.items():
+        report, tracer = _traced_migration("LU.C", nprocs=8 * ppn)
+        key = f"ppn{ppn}"
+        results[key] = {k: round(v, 6)
+                        for k, v in migration_phase_breakdown(report).items()}
+        deltas[key] = {"total": _delta(report.total_seconds, paper_total)}
+        blames[key], dominants[key] = _blame(tracer)
+    return {"title": "Fig. 6 — migration scalability (LU.C, ranks/node)",
+            "results": results,
+            "paper_reference": {f"ppn{k}": v
+                                for k, v in FIG6_TOTAL_S.items()},
+            "paper_deltas": deltas, "critical_path": blames,
+            "dominant": dominants}
+
+
+def bench_fig7() -> Dict[str, Any]:
+    """Fig. 7: one migration cycle vs full CR to ext3 and to PVFS."""
+    results: Dict[str, Any] = {}
+    deltas: Dict[str, Any] = {}
+    blames: Dict[str, Any] = {}
+    dominants: Dict[str, Any] = {}
+    for app in ("LU.C", "BT.C"):
+        report, tracer = _traced_migration(app)
+        row: Dict[str, Any] = {
+            "migration": {k: round(v, 6)
+                          for k, v in migration_cycle_breakdown(report).items()}}
+        for dest in ("ext3", "pvfs"):
+            ckpt, restart = _cr_cycle(app, dest)
+            row[f"cr_{dest}"] = {
+                k: round(v, 6)
+                for k, v in cr_cycle_breakdown(ckpt, restart).items()}
+            cycle = ckpt.total_seconds + restart.restart_seconds
+            row[f"speedup_{dest}"] = round(
+                speedup(cycle, report.total_seconds), 4)
+        results[app] = row
+        blames[app], dominants[app] = _blame(tracer)
+        app_deltas = {}
+        ref = FIG7.get(app, {})
+        if "ckpt_ext3" in ref:
+            app_deltas["ckpt_ext3"] = _delta(
+                row["cr_ext3"]["Checkpoint(Migration)"], ref["ckpt_ext3"])
+        if "ckpt_pvfs" in ref:
+            app_deltas["ckpt_pvfs"] = _delta(
+                row["cr_pvfs"]["Checkpoint(Migration)"], ref["ckpt_pvfs"])
+        if app == "LU.C":
+            app_deltas["speedup_pvfs"] = _delta(row["speedup_pvfs"],
+                                                HEADLINE_SPEEDUP_PVFS)
+            app_deltas["speedup_ext3"] = _delta(row["speedup_ext3"],
+                                                HEADLINE_SPEEDUP_EXT3)
+        deltas[app] = app_deltas
+    return {"title": "Fig. 7 — migration vs checkpoint/restart",
+            "results": results, "paper_reference": FIG7,
+            "paper_deltas": deltas, "critical_path": blames,
+            "dominant": dominants}
+
+
+def bench_table1() -> Dict[str, Any]:
+    """Table I: MB moved by migration vs dumped by CR, per app (exact)."""
+    results: Dict[str, Any] = {}
+    deltas: Dict[str, Any] = {}
+    blames: Dict[str, Any] = {}
+    dominants: Dict[str, Any] = {}
+    for app in ("LU.C", "BT.C", "SP.C"):
+        report, tracer = _traced_migration(app)
+        ckpt, _ = _cr_cycle(app, "ext3")
+        mig_mb = report.bytes_migrated / 1e6
+        cr_mb = ckpt.bytes_written / 1e6
+        results[app] = {"migration_mb": round(mig_mb, 6),
+                        "cr_mb": round(cr_mb, 6)}
+        deltas[app] = {
+            "migration_mb": _delta(mig_mb, TABLE1_MB[app]["migration"]),
+            "cr_mb": _delta(cr_mb, TABLE1_MB[app]["cr"]),
+        }
+        blames[app], dominants[app] = _blame(tracer)
+    return {"title": "Table I — amount of data movement (MB)",
+            "results": results, "paper_reference": TABLE1_MB,
+            "paper_deltas": deltas, "critical_path": blames,
+            "dominant": dominants}
+
+
+BENCHES: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "fig4": bench_fig4,
+    "fig6": bench_fig6,
+    "fig7": bench_fig7,
+    "table1": bench_table1,
+}
+
+
+# -- artifacts and baselines -------------------------------------------------
+
+def run_bench(name: str) -> Dict[str, Any]:
+    """Run one bench; returns the full artifact dict (not yet written)."""
+    fn = BENCHES[name]
+    t0 = time.perf_counter()
+    body = fn()
+    artifact = {"schema_version": BENCH_SCHEMA_VERSION, "name": name}
+    artifact.update(body)
+    artifact["wall_seconds"] = round(time.perf_counter() - t0, 3)
+    return artifact
+
+
+def flatten_results(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-key map of every numeric leaf under ``results``."""
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(flatten_results(value,
+                                       f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def compare_to_baselines(measured: Dict[str, Dict[str, float]],
+                         baselines: Dict[str, Any],
+                         tolerance: Optional[float] = None) -> List[str]:
+    """Regression messages (empty == clean).
+
+    ``measured`` is ``{bench name: flattened results}``; ``baselines`` is
+    the parsed ``baselines.json``.  Keys present in the baseline but
+    missing from the measurement are regressions too (a silently dropped
+    result must not pass).  Extra measured keys are informational only,
+    so adding outputs does not require a lockstep baseline update.
+    """
+    tol = tolerance if tolerance is not None else baselines.get(
+        "default_rel_tolerance", DEFAULT_REL_TOLERANCE)
+    problems: List[str] = []
+    for bench, expected in baselines.get("benches", {}).items():
+        got = measured.get(bench)
+        if got is None:
+            continue  # bench not run this invocation
+        for key, base in expected.items():
+            if key not in got:
+                problems.append(f"{bench}: baseline key {key!r} missing "
+                                f"from results")
+                continue
+            value = got[key]
+            denom = max(abs(base), 1e-9)
+            drift = (value - base) / denom
+            if abs(drift) > tol:
+                problems.append(
+                    f"{bench}: {key} = {value:.6g} drifted "
+                    f"{drift:+.1%} from baseline {base:.6g} "
+                    f"(tolerance {tol:.1%})")
+    return problems
+
+
+def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
+                baselines_path: Optional[str] = None,
+                update_baselines: bool = False,
+                tolerance: Optional[float] = None
+                ) -> Tuple[List[str], List[str], str]:
+    """Run benches, write ``BENCH_<name>.json``, diff against baselines.
+
+    Returns ``(artifact paths, regression messages, summary text)``.
+    """
+    names = list(names) if names else list(BENCHES)
+    unknown = [n for n in names if n not in BENCHES]
+    if unknown:
+        raise ValueError(f"unknown benches {unknown}; "
+                         f"available: {sorted(BENCHES)}")
+    baselines_path = baselines_path or default_baselines_path()
+    os.makedirs(out_dir, exist_ok=True)
+
+    paths: List[str] = []
+    measured: Dict[str, Dict[str, float]] = {}
+    lines: List[str] = []
+    for name in names:
+        artifact = run_bench(name)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True, default=str)
+        paths.append(path)
+        measured[name] = flatten_results(artifact["results"])
+        lines.append(f"{name:<8} wrote {path} "
+                     f"({len(measured[name])} results, "
+                     f"{artifact['wall_seconds']:.1f}s wall)")
+
+    regressions: List[str] = []
+    if update_baselines:
+        benches: Dict[str, Any] = {}
+        if os.path.exists(baselines_path):
+            with open(baselines_path, "r", encoding="utf-8") as fh:
+                benches = json.load(fh).get("benches", {})
+        benches.update({n: {k: v for k, v in sorted(m.items())}
+                        for n, m in measured.items()})
+        doc = {"schema_version": BENCH_SCHEMA_VERSION,
+               "default_rel_tolerance": DEFAULT_REL_TOLERANCE,
+               "benches": {k: benches[k] for k in sorted(benches)}}
+        with open(baselines_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        lines.append(f"updated baselines: {baselines_path}")
+    elif os.path.exists(baselines_path):
+        with open(baselines_path, "r", encoding="utf-8") as fh:
+            baselines = json.load(fh)
+        regressions = compare_to_baselines(measured, baselines, tolerance)
+        if regressions:
+            lines.append(f"REGRESSIONS ({len(regressions)}):")
+            lines.extend(f"  {msg}" for msg in regressions)
+        else:
+            lines.append(f"all results within tolerance of {baselines_path}")
+    else:
+        lines.append(f"no baselines at {baselines_path} "
+                     f"(run with --update-baselines to create)")
+    return paths, regressions, "\n".join(lines)

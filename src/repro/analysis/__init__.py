@@ -15,11 +15,24 @@ from .metrics import (
     migration_phase_breakdown,
     speedup,
 )
+from .critical_path import (
+    CriticalPath,
+    FlowEdge,
+    Segment,
+    SpanDAG,
+    SpanNode,
+    build_span_dag,
+    critical_path,
+    dominant_component,
+    render_blame,
+    render_waterfall,
+)
 from .report import fmt_seconds, render_stacked, render_table
 from .timeline import PhaseInterval, extract_phases, render_timeline
 from .trace_export import (
     chrome_trace,
     metrics_payload,
+    read_jsonl,
     summarize_trace,
     write_chrome_trace,
     write_jsonl,
@@ -47,7 +60,18 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "read_jsonl",
     "write_metrics",
     "metrics_payload",
     "summarize_trace",
+    "SpanNode",
+    "FlowEdge",
+    "SpanDAG",
+    "Segment",
+    "CriticalPath",
+    "build_span_dag",
+    "critical_path",
+    "dominant_component",
+    "render_waterfall",
+    "render_blame",
 ]

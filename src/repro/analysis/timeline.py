@@ -18,18 +18,25 @@ __all__ = ["PhaseInterval", "extract_phases", "render_timeline"]
 
 @dataclass(frozen=True)
 class PhaseInterval:
-    """One [start, end] span of a named phase."""
+    """One [start, end] span of a named phase.
+
+    ``truncated`` marks an interval whose end is synthetic: the phase was
+    still open when the trace stopped (aborted/failed run analyzed with
+    ``extract_phases(..., allow_open=True)``).
+    """
 
     name: str
     start: float
     end: float
+    truncated: bool = False
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
 
-def extract_phases(trace: Tracer) -> List[PhaseInterval]:
+def extract_phases(trace: Tracer,
+                   allow_open: bool = False) -> List[PhaseInterval]:
     """Pair up phase.start / phase.end records, in start order.
 
     Records carrying a ``span`` id (the span API) are keyed on
@@ -38,12 +45,17 @@ def extract_phases(trace: Tracer) -> List[PhaseInterval]:
     check; span-less legacy records key on ``(name, None)`` and keep the
     strict one-open-instance semantics.
 
-    Raises if the trace is inconsistent (an end without a start, or a phase
-    left open) — that would indicate a framework bug, not a data problem.
+    Raises if the trace is inconsistent (an end without a start, a double
+    start, or a phase left open) — that would indicate a framework bug,
+    not a data problem.  For post-mortems of aborted/failed runs, pass
+    ``allow_open=True``: dangling phases are closed at the last recorded
+    trace time and marked ``truncated`` instead of raising.
     """
     open_phases: Dict[tuple, float] = {}
     intervals: List[PhaseInterval] = []
+    t_last = 0.0
     for rec in trace.records:
+        t_last = max(t_last, rec.time)
         if rec.kind == "phase.start":
             key = (rec["phase"], rec.get("span"))
             if key in open_phases:
@@ -57,8 +69,12 @@ def extract_phases(trace: Tracer) -> List[PhaseInterval]:
             intervals.append(PhaseInterval(key[0], open_phases.pop(key),
                                            rec.time))
     if open_phases:
-        raise ValueError(
-            f"phases never ended: {sorted(k[0] for k in open_phases)}")
+        if not allow_open:
+            raise ValueError(
+                f"phases never ended: {sorted(k[0] for k in open_phases)}")
+        for (name, _), start in open_phases.items():
+            intervals.append(PhaseInterval(name, start, max(t_last, start),
+                                           truncated=True))
     intervals.sort(key=lambda iv: iv.start)
     return intervals
 

@@ -9,9 +9,11 @@ Two serializations of the same observability data:
   Format that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_
   load directly.  Paired ``<name>.start``/``<name>.end`` span records
   become ``X`` (complete) events, span-less records become ``i`` (instant)
-  events, and :class:`~repro.simulate.metrics.MetricsRegistry` counter and
-  gauge sample trails become ``C`` counter tracks.  One trace *process*
-  per cluster node, one *thread* per rank/process within it, named via
+  events, ``flow.link`` causal edges become paired ``s``/``f`` flow
+  events (Perfetto draws them as arrows between slices), and
+  :class:`~repro.simulate.metrics.MetricsRegistry` counter and gauge
+  sample trails become ``C`` counter tracks.  One trace *process* per
+  cluster node, one *thread* per rank/process within it, named via
   ``M`` metadata events.
 
 Sim time is seconds; trace-event ``ts``/``dur`` are microseconds.
@@ -22,7 +24,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["write_jsonl", "chrome_trace", "write_chrome_trace",
+__all__ = ["write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",
            "metrics_payload", "write_metrics", "summarize_trace"]
 
 #: kind prefix -> Chrome trace category (drives Perfetto's track colors).
@@ -62,6 +64,25 @@ def write_jsonl(trace, path: str) -> int:
             fh.write("\n")
             n += 1
     return n
+
+
+def read_jsonl(path: str):
+    """Load a :func:`write_jsonl` export back into a (clockless) Tracer,
+    so offline analysis (critical path, Chrome export) works on archived
+    traces exactly as on live ones."""
+    from ..simulate.trace import Tracer
+
+    tracer = Tracer()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            t = row.pop("t")
+            kind = row.pop("kind")
+            tracer.record(t, kind, **row)
+    return tracer
 
 
 class _IdAllocator:
@@ -116,8 +137,17 @@ def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
         return pid, tid
 
     open_spans: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+    #: span id -> (start_ts, end_ts, pid, tid) in microseconds, for
+    #: anchoring flow endpoints inside their slices.
+    span_slices: Dict[int, Tuple[float, float, int, int]] = {}
+    flow_links: List[Tuple[float, int, int, str]] = []
     for rec in trace:
         fields = dict(rec.fields)
+        if rec.kind == "flow.link":
+            flow_links.append((rec.time, fields.get("src"),
+                               fields.get("dst"),
+                               str(fields.get("edge", "flow"))))
+            continue
         span_id = fields.get("span")
         if span_id is not None and rec.kind.endswith(".start"):
             open_spans[span_id] = (rec, fields)
@@ -137,6 +167,8 @@ def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
                 "dur": max(0.0, (rec.time - start_rec.time) * 1e6),
                 "pid": pid, "tid": tid, "args": merged,
             })
+            span_slices[span_id] = (start_rec.time * 1e6, rec.time * 1e6,
+                                    pid, tid)
             continue
         pid, tid = lane(fields)
         events.append({
@@ -145,13 +177,34 @@ def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
             "pid": pid, "tid": tid, "args": fields,
         })
     # Unbalanced starts (sim aborted mid-span): keep them visible.
-    for start_rec, start_fields in open_spans.values():
+    for span_id, (start_rec, start_fields) in open_spans.items():
         pid, tid = lane(start_fields)
         events.append({
             "name": start_rec.kind[: -len(".start")] + " (unclosed)",
             "cat": _category(start_rec.kind), "ph": "X",
             "ts": start_rec.time * 1e6, "dur": 0.0,
             "pid": pid, "tid": tid, "args": start_fields,
+        })
+        span_slices[span_id] = (start_rec.time * 1e6, start_rec.time * 1e6,
+                                pid, tid)
+    # Flow edges: an `s` on the source slice paired with an `f` on the
+    # destination slice.  Chrome binds each endpoint to the slice enclosing
+    # its (pid, tid, ts), so timestamps are clamped into the span interval.
+    for flow_id, (t, src, dst, edge) in enumerate(flow_links, start=1):
+        src_slice = span_slices.get(src)
+        dst_slice = span_slices.get(dst)
+        if src_slice is None or dst_slice is None:
+            continue  # endpoint span never appeared in this trace
+        ts_us = t * 1e6
+        s0, s1, s_pid, s_tid = src_slice
+        d0, d1, d_pid, d_tid = dst_slice
+        events.append({
+            "name": edge, "cat": "flow", "ph": "s", "id": flow_id,
+            "ts": min(max(ts_us, s0), s1), "pid": s_pid, "tid": s_tid,
+        })
+        events.append({
+            "name": edge, "cat": "flow", "ph": "f", "bp": "e", "id": flow_id,
+            "ts": min(max(ts_us, d0), d1), "pid": d_pid, "tid": d_tid,
         })
 
     if metrics is not None:

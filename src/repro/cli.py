@@ -7,6 +7,8 @@
     python -m repro scale     --ppn 1 2 4 8
     python -m repro interval  --mtbf-hours 6 --coverage 0.9
     python -m repro observe   --app LU.C --out-dir ./obs
+    python -m repro critical-path --app LU.C
+    python -m repro bench     --out-dir ./bench-out
 """
 
 from __future__ import annotations
@@ -18,14 +20,20 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import (
+    build_span_dag,
     cr_cycle_breakdown,
+    critical_path,
     daly_interval,
+    dominant_component,
     effective_mtbf,
     extract_phases,
     migration_cycle_breakdown,
     migration_phase_breakdown,
+    read_jsonl,
+    render_blame,
     render_table,
     render_timeline,
+    render_waterfall,
     simulate_policy,
     speedup,
     summarize_trace,
@@ -89,6 +97,41 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["file", "memory"])
     obs.add_argument("--out-dir", default=".",
                      help="directory for the exported artifacts")
+
+    cp = sub.add_parser(
+        "critical-path",
+        help="critical-path analysis of one traced migration "
+             "(waterfall + per-component blame)")
+    common(cp)
+    cp.add_argument("--source", default="node3")
+    cp.add_argument("--transport", default="rdma",
+                    choices=["rdma", "ipoib", "tcp", "staging"])
+    cp.add_argument("--restart-mode", default="file",
+                    choices=["file", "memory"])
+    cp.add_argument("--from-jsonl", default=None, metavar="PATH",
+                    help="analyze an exported trace.jsonl instead of "
+                         "running a simulation")
+    cp.add_argument("--root", default=None,
+                    help="span name to analyze (default: migration)")
+    cp.add_argument("--width", type=int, default=48,
+                    help="waterfall bar width")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark harness: write BENCH_*.json and diff "
+             "against benchmarks/baselines.json")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<name>.json artifacts")
+    bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                       help="subset of benches (fig4 fig6 fig7 table1)")
+    bench.add_argument("--baselines", default=None, metavar="PATH",
+                       help="baselines file (default: "
+                            "benchmarks/baselines.json)")
+    bench.add_argument("--update-baselines", action="store_true",
+                       help="rewrite the baselines from this run instead "
+                            "of diffing")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="relative tolerance override")
 
     sub.add_parser("validate",
                    help="re-measure headline numbers and diff vs the paper")
@@ -204,6 +247,50 @@ def _cmd_observe(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_critical_path(args) -> str:
+    """Causal profile of one migration: waterfall + blame + dominant."""
+    if args.from_jsonl:
+        tracer = read_jsonl(args.from_jsonl)
+        header = f"Critical path of {args.from_jsonl}"
+    else:
+        tracer = Tracer()
+        sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                            n_compute=args.nodes, n_spare=1, iterations=40,
+                            seed=args.seed, transport=args.transport,
+                            restart_mode=args.restart_mode, trace=tracer)
+        report = sc.run_migration(args.source, at=5.0)
+        header = (f"Critical path: migration {args.source} -> "
+                  f"{report.target} ({args.app}.{args.nprocs}, "
+                  f"{args.transport}/{args.restart_mode})")
+    cp = critical_path(build_span_dag(tracer), root=args.root)
+    name, seconds = dominant_component(cp)
+    return "\n".join([
+        header,
+        render_waterfall(cp, width=args.width),
+        "",
+        render_blame(cp.blame()),
+        "",
+        f"dominant component: {name} ({seconds:.3f}s, "
+        f"{seconds / max(cp.total, 1e-12):.0%} of the critical path)",
+    ])
+
+
+def _cmd_bench(args):
+    """Benchmark harness: BENCH_*.json artifacts + baseline diff."""
+    try:
+        from benchmarks.harness import run_benches
+    except ImportError as exc:
+        raise SystemExit(
+            f"cannot import benchmarks.harness ({exc}); run from the "
+            "repository root so the benchmarks/ package is importable")
+    paths, regressions, text = run_benches(
+        names=args.only, out_dir=args.out_dir,
+        baselines_path=args.baselines,
+        update_baselines=args.update_baselines,
+        tolerance=args.tolerance)
+    return text, (1 if regressions else 0)
+
+
 def _cmd_validate(args) -> str:
     from .validation import render_validation, run_validation
 
@@ -212,10 +299,13 @@ def _cmd_validate(args) -> str:
 
 _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "scale": _cmd_scale, "interval": _cmd_interval,
-             "observe": _cmd_observe, "validate": _cmd_validate}
+             "observe": _cmd_observe, "validate": _cmd_validate,
+             "critical-path": _cmd_critical_path, "bench": _cmd_bench}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    out = _COMMANDS[args.command](args)
+    text, code = out if isinstance(out, tuple) else (out, 0)
+    print(text)
+    return code

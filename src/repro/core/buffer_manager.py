@@ -62,6 +62,9 @@ class ChunkDescriptor:
     pool_offset: int
     final: bool = False
     image_meta: Optional[CheckpointImage] = None
+    #: Span open in the producer task when the chunk was filled (the
+    #: ``blcr.checkpoint`` span), so the target can link fill->pull.
+    src_span: Optional[int] = None
 
 
 class AggregatingSink:
@@ -86,7 +89,8 @@ class AggregatingSink:
         if s.src_pool is not None and data is not None:
             s.src_pool[pool_offset:pool_offset + nbytes] = data
         desc = ChunkDescriptor(next(_chunk_seq), image.proc_name, offset,
-                               nbytes, pool_offset)
+                               nbytes, pool_offset,
+                               src_span=s.tracer.current_span())
         s.bytes_offered += nbytes
         s._m_fill_seconds.observe(self.sim.now - t_req)
         s._m_fill_bytes.inc(nbytes)
@@ -158,6 +162,10 @@ class RDMAMigrationSession:
         self._alive = False
         # observability
         self.tracer = cluster.trace
+        #: ``pool.reassemble`` span id per reassembled process — the flow
+        #: sources the framework hands to NLA restart (image -> restart).
+        self.reassembly_spans: Dict[str, int] = {}
+        self._pull_spans: Dict[str, List[int]] = {}
         m = sim.metrics
         self._m_fill_seconds = m.histogram("pool.chunk.fill_seconds", unit="s")
         self._m_drain_seconds = m.histogram("pool.chunk.drain_seconds", unit="s")
@@ -285,6 +293,12 @@ class RDMAMigrationSession:
         with self.tracer.span("migration.rdma_pull", seq=desc.seq,
                               proc=desc.proc_name,
                               node=self.target.name) as sp:
+            trace = self.sim.trace
+            if trace is not None:
+                if desc.src_span is not None:
+                    trace.link(desc.src_span, sp, "rdma.pull")
+                self._pull_spans.setdefault(desc.proc_name, []).append(
+                    sp.span_id)
             wr = ("pull", desc.seq)
             self.dst_qp.post_rdma_read(wr, self.src_mr.rkey, desc.pool_offset,
                                        desc.nbytes, self.dst_mr,
@@ -323,14 +337,17 @@ class RDMAMigrationSession:
         # The final marker may overtake in-flight pulls (they run
         # concurrently); park on an event that the last chunk pull signals
         # instead of polling the calendar at sub-millisecond resolution.
-        expected = desc.stream_offset  # finalize carries total size here
-        if self._received.get(desc.proc_name, 0) < expected:
-            gate = Event(self.sim, name=f"mig-complete.{desc.proc_name}")
-            self._expected_total[desc.proc_name] = expected
-            self._all_received[desc.proc_name] = gate
-            yield gate
-        handle = yield from self._target_handle(desc.proc_name)
-        yield from self.target.fs.close(handle)
+        with self.tracer.span("pool.reassemble", proc=desc.proc_name,
+                              node=self.target.name) as rsp:
+            expected = desc.stream_offset  # finalize carries total size here
+            if self._received.get(desc.proc_name, 0) < expected:
+                gate = Event(self.sim, name=f"mig-complete.{desc.proc_name}")
+                self._expected_total[desc.proc_name] = expected
+                self._all_received[desc.proc_name] = gate
+                yield gate
+            handle = yield from self._target_handle(desc.proc_name)
+            yield from self.target.fs.close(handle)
+            rsp.annotate(nbytes=self._received.get(desc.proc_name, 0))
         path = f"{self.tmp_prefix}/{desc.proc_name}.ckpt"
         self.paths[desc.proc_name] = path
         meta = desc.image_meta
@@ -338,6 +355,9 @@ class RDMAMigrationSession:
         self._finals_seen += 1
         trace = self.sim.trace
         if trace is not None:
+            for pull_span in self._pull_spans.pop(desc.proc_name, ()):
+                trace.link(pull_span, rsp, "reassembly")
+            self.reassembly_spans[desc.proc_name] = rsp.span_id
             trace.record(self.sim.now, "pool.proc.complete",
                          proc=desc.proc_name, node=self.target.name,
                          nbytes=self._received.get(desc.proc_name, 0))

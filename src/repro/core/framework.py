@@ -233,7 +233,9 @@ class JobMigrationFramework:
                                   "ranks": [r.rank for r in victims]})
                 target_nla = self.jm.nla(target)
                 restarted = yield from target_nla.restart_processes(
-                    session.images, session.paths, mode=self.restart_mode)
+                    session.images, session.paths, mode=self.restart_mode,
+                    flow_from=getattr(session, "reassembly_spans",
+                                      {}).values())
                 for rank in victims:
                     rank.relocate(target_node)
                     rank.osproc = restarted[rank.osproc.name]

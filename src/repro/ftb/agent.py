@@ -119,13 +119,16 @@ class FTBAgent:
             yield sim.timeout(self.backplane.params.route_cost)
             for sub in self.subscriptions:
                 if match_mask(sub.mask, event.name):
-                    sub.deliver(event)
+                    # Zero-duration span (not a point record) so the
+                    # publish->deliver flow edge has an endpoint slice.
+                    with sim.tracer.span("ftb.deliver", node=self.node,
+                                         event=event.name,
+                                         client=sub.client_name) as dsp:
+                        sub.deliver(event)
                     m_delivered.inc()
                     trace = sim.trace
-                    if trace is not None:
-                        trace.record(sim.now, "ftb.deliver", node=self.node,
-                                     event=event.name,
-                                     client=sub.client_name)
+                    if trace is not None and event.src_span is not None:
+                        trace.link(event.src_span, dsp, "ftb.event")
             # Network layer: flood to tree neighbours.
             for peer in self.neighbours():
                 if event.event_id in peer._seen:

@@ -47,7 +47,8 @@ class FTBClient:
                 severity: str = "INFO") -> Generator:
         """Generator: publish an event into the backplane."""
         event = FTBEvent(name=event_name, source=self.name,
-                         payload=payload or {}, severity=severity)
+                         payload=payload or {}, severity=severity,
+                         src_span=self.sim.tracer.current_span())
         yield self.sim.timeout(self.backplane.params.publish_cost)
         self._live_agent().submit(event)
         self._note_publish(event)
@@ -57,7 +58,8 @@ class FTBClient:
                        severity: str = "INFO") -> FTBEvent:
         """Fire-and-forget publish from non-process context (callbacks)."""
         event = FTBEvent(name=event_name, source=self.name,
-                         payload=payload or {}, severity=severity)
+                         payload=payload or {}, severity=severity,
+                         src_span=self.sim.tracer.current_span())
         self._live_agent().submit(event)
         self._note_publish(event)
         return event

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = [
     "FTBEvent",
@@ -43,6 +43,9 @@ class FTBEvent:
     payload: Dict[str, Any] = field(default_factory=dict)
     severity: str = "INFO"
     event_id: int = field(default_factory=lambda: next(_seq))
+    #: Span open in the publisher's task at publish time; agents link it
+    #: to their ``ftb.deliver`` span so traces show publish->deliver arrows.
+    src_span: Optional[int] = field(default=None, compare=False)
 
     @property
     def nbytes(self) -> int:

@@ -12,7 +12,7 @@ spare.  The state machine follows Sec. III-A exactly:
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Dict, Generator, Iterable, List, Optional, TYPE_CHECKING
 
 from ..params import LaunchParams
 from ..simulate.core import Simulator
@@ -61,7 +61,9 @@ class NodeLaunchAgent:
 
     def restart_processes(self, images: Dict[str, CheckpointImage],
                           paths: Dict[str, str],
-                          mode: str = "file") -> Generator:
+                          mode: str = "file",
+                          flow_from: Optional[Iterable[int]] = None
+                          ) -> Generator:
         """Generator: restart migrated processes from reassembled images.
 
         ``mode='file'`` reads the Phase-2 temp files back (the paper's
@@ -69,6 +71,10 @@ class NodeLaunchAgent:
         straight from the resident images (the Sec. VI extension).
         Returns ``{proc_name: OSProcess}``.  All restarts run concurrently
         and contend on the local disk's read link.
+
+        ``flow_from`` carries span ids of the operations that produced the
+        images (reassembly writes); each is linked to the ``nla.restart``
+        span so the trace shows image-complete -> restart-start causality.
         """
         if self.state is not NLAState.MIGRATION_SPARE \
                 and self.state is not NLAState.MIGRATION_READY:
@@ -87,7 +93,11 @@ class NodeLaunchAgent:
             return (name, proc)
 
         with self.sim.tracer.span("nla.restart", node=self.node.name,
-                                  mode=mode, procs=len(images)):
+                                  mode=mode, procs=len(images)) as nsp:
+            trace = self.sim.trace
+            if trace is not None:
+                for src in (flow_from or ()):
+                    trace.link(src, nsp, "image.ready")
             workers = [self.sim.spawn(one(name), name=f"restart.{name}")
                        for name in images]
             results = yield self.sim.all_of(workers)

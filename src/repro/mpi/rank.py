@@ -78,6 +78,9 @@ class CRController:
         self.suspended = False
         self.resume_event: Optional[Event] = None
         self.drain_stats: Dict[str, float] = {}
+        #: ``rank.stall`` span id of the last suspension, the flow source
+        #: for the stall -> resume barrier edge.
+        self._stall_span: Optional[int] = None
 
     # -- suspension ---------------------------------------------------------
     def suspend_and_drain(self) -> Generator:
@@ -90,34 +93,38 @@ class CRController:
             raise RuntimeError(f"rank {self.rank.rank} already suspended")
         self.suspended = True
         self.resume_event = Event(self.sim, name=f"resume.r{self.rank.rank}")
-        main = self.rank.main_proc
-        if main is not None and main.is_alive and main is not self.sim.active_process:
-            main.interrupt("cr-suspend")
-        t0 = self.sim.now
+        with self.sim.tracer.span("rank.stall", rank=self.rank.rank,
+                                  node=self.rank.node.name) as ssp:
+            main = self.rank.main_proc
+            if main is not None and main.is_alive and main is not self.sim.active_process:
+                main.interrupt("cr-suspend")
+            t0 = self.sim.now
 
-        outgoing = self.rank.channels.established()
-        incoming = {r: c for r, c in self.rank.incoming.items() if c.alive}
-        # 1. Wait for our own posted sends to complete.
-        if outgoing:
-            yield self.sim.all_of([c.wait_idle() for c in outgoing.values()])
-        # 2. FLUSH marker behind the last send on every outgoing channel.
-        flushers = [
-            self.sim.spawn(c.send(64, CR_FLUSH_TAG, None),
-                           name=f"flush.r{self.rank.rank}->{r}")
-            for r, c in outgoing.items()
-        ]
-        if flushers:
-            yield self.sim.all_of(flushers)
-        # 3. Wait for peers' markers on every incoming channel.
-        pending = [c.flush_received for c in incoming.values()
-                   if not c.flush_received.triggered]
-        if pending:
-            yield self.sim.all_of(pending)
-        # 4. Endpoint teardown: QPs destroyed, adapter context lost.
-        self.rank.channels.teardown_all()
-        self.rank.incoming = {}
-        self.drain_stats = {"drain_time": self.sim.now - t0,
-                            "channels_flushed": len(outgoing) + len(incoming)}
+            outgoing = self.rank.channels.established()
+            incoming = {r: c for r, c in self.rank.incoming.items() if c.alive}
+            # 1. Wait for our own posted sends to complete.
+            if outgoing:
+                yield self.sim.all_of([c.wait_idle() for c in outgoing.values()])
+            # 2. FLUSH marker behind the last send on every outgoing channel.
+            flushers = [
+                self.sim.spawn(c.send(64, CR_FLUSH_TAG, None),
+                               name=f"flush.r{self.rank.rank}->{r}")
+                for r, c in outgoing.items()
+            ]
+            if flushers:
+                yield self.sim.all_of(flushers)
+            # 3. Wait for peers' markers on every incoming channel.
+            pending = [c.flush_received for c in incoming.values()
+                       if not c.flush_received.triggered]
+            if pending:
+                yield self.sim.all_of(pending)
+            # 4. Endpoint teardown: QPs destroyed, adapter context lost.
+            self.rank.channels.teardown_all()
+            self.rank.incoming = {}
+            self.drain_stats = {"drain_time": self.sim.now - t0,
+                                "channels_flushed": len(outgoing) + len(incoming)}
+            ssp.annotate(channels=self.drain_stats["channels_flushed"])
+        self._stall_span = ssp.span_id
 
     def on_flush_marker(self, channel: Channel) -> None:
         if not channel.flush_received.triggered:
@@ -126,9 +133,16 @@ class CRController:
     # -- resumption --------------------------------------------------------
     def reestablish(self) -> Generator:
         """Generator: rebuild connections to every peer used before."""
-        peers = sorted(self.rank.channels.peers_contacted)
-        for peer in peers:
-            yield from self.rank.channels.get_channel(self.rank.job.rank_obj(peer))
+        with self.sim.tracer.span("rank.resume", rank=self.rank.rank,
+                                  node=self.rank.node.name) as rsp:
+            trace = self.sim.trace
+            if trace is not None and self._stall_span is not None:
+                trace.link(self._stall_span, rsp, "barrier")
+            peers = sorted(self.rank.channels.peers_contacted)
+            for peer in peers:
+                yield from self.rank.channels.get_channel(
+                    self.rank.job.rank_obj(peer))
+            rsp.annotate(peers=len(peers))
 
     def release(self) -> None:
         """Unblock the main thread (end of Phase 4)."""

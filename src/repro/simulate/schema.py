@@ -58,6 +58,15 @@ SPAN_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                      "Rebuild of one process from file/chain/memory."),
     "nla.restart": ("framework", ("node", "mode", "procs"),
                     "NLA restarting all migrated processes on a spare."),
+    "pool.reassemble": ("buffer-pool", ("proc", "node"),
+                        "Spare-side reassembly of one process image from "
+                        "pulled chunks."),
+    "rank.stall": ("framework", ("rank", "node"),
+                   "One rank suspending and draining its channels."),
+    "rank.resume": ("framework", ("rank", "node"),
+                    "One rank re-establishing connections and resuming."),
+    "ftb.deliver": ("ftb", ("node", "event", "client"),
+                    "An agent delivering an event to a subscription."),
 }
 
 #: Point-event kinds -> (layer, required fields, doc).
@@ -94,8 +103,6 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                      "TCP-style transfer on the GigE fabric."),
     "ftb.publish": ("ftb", ("node", "client", "event", "severity"),
                     "A client injected an event into the backplane."),
-    "ftb.deliver": ("ftb", ("node", "event", "client"),
-                    "An agent delivered an event to a subscription."),
     "ftb.dedup": ("ftb", ("node", "event", "event_id"),
                   "An agent dropped an already-seen event id."),
     "ftb.forward": ("ftb", ("src", "dst", "event", "nbytes"),
@@ -114,6 +121,10 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                    "Striped write across the PVFS servers."),
     "pvfs.read": ("storage", ("client", "path", "nbytes", "stripes"),
                   "Striped read from the PVFS servers."),
+    "flow.link": ("flow", ("flow", "src", "dst", "edge"),
+                  "Causal edge between two spans across a task boundary "
+                  "(chunk fill->pull, publish->deliver, image->restart, "
+                  "stall->resume)."),
 }
 
 

@@ -21,6 +21,14 @@ handed to a :class:`~repro.simulate.core.Simulator` (directly or through
 instance for the untraced fast path — every API is a no-op, so code can
 be written against one surface without ``if trace is not None`` guards
 on cold paths.
+
+Spans capture *containment*; :meth:`Tracer.link` captures *causality
+across tasks*: a ``flow.link`` record naming a source and destination
+span plus an edge kind (a filled pool chunk triggering an RDMA pull, a
+published FTB event reaching a subscriber).  The Chrome exporter turns
+these into ``s``/``f`` flow events so Perfetto draws the arrows, and
+``analysis.critical_path`` uses them to follow the causal chain across
+process boundaries.
 """
 
 from __future__ import annotations
@@ -90,7 +98,7 @@ class Span:
     """
 
     __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
-                 "start_time", "_extra", "_open")
+                 "start_time", "_extra", "_open", "_closed")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
         self.tracer = tracer
@@ -101,9 +109,23 @@ class Span:
         self.start_time: float = 0.0
         self._extra: Dict[str, Any] = {}
         self._open = False
+        self._closed = False
 
     def annotate(self, **fields: Any) -> "Span":
-        """Attach extra fields to the eventual ``.end`` record."""
+        """Attach extra fields to the eventual ``.end`` record.
+
+        Raises once the span has closed: the ``.end`` record is already
+        emitted, so a late annotation would be silently lost.  This bites
+        in error paths — an exception unwinds through ``__exit__`` (which
+        closes the span with an ``error`` field) *before* an outer
+        ``except`` block gets a chance to annotate.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"annotate() on closed span {self.name!r} (id {self.span_id}):"
+                " the .end record was already emitted, late fields would be"
+                " lost. Annotate inside the with-block (before any exception"
+                " propagates), or record a separate event.")
         self._extra.update(fields)
         return self
 
@@ -138,6 +160,7 @@ class Span:
             fields["error"] = repr(exc)
         t.record(now, f"{self.name}.end", **fields)
         self._open = False
+        self._closed = True
         return False
 
 
@@ -155,6 +178,7 @@ class Tracer:
         self._clock = clock
         self._task_key: Optional[Callable[[], Any]] = None
         self._span_ids = count(1)
+        self._flow_ids = count(1)
         #: Per-task open-span stacks: nesting is tracked per simulated
         #: process, so concurrent coroutines (two in-flight chunk pulls)
         #: never appear as each other's parents.  ``None`` keys the
@@ -217,6 +241,34 @@ class Tracer:
         """A context manager emitting paired ``.start``/``.end`` records."""
         return Span(self, name, attrs)
 
+    def current_span(self) -> Optional[int]:
+        """Id of the innermost open span of the *current* task, or None.
+
+        This is what cross-task handoffs capture as their flow source: a
+        producer stamps ``tracer.current_span()`` on the message/descriptor
+        it hands off, and the consumer links that id to its own span.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def link(self, src: Any, dst: Any, kind: str = "flow") -> Optional[int]:
+        """Record a causal flow edge between two spans.
+
+        ``src``/``dst`` may be :class:`Span` objects or raw span ids; a
+        ``None`` endpoint (e.g. an unstamped descriptor, or a null span's
+        id) drops the edge silently so emit sites need no guards.  Emits
+        one ``flow.link`` record — ``flow`` (edge id), ``src``/``dst``
+        (span ids), ``edge`` (kind) — and returns the edge id.
+        """
+        src_id = src.span_id if isinstance(src, Span) else src
+        dst_id = dst.span_id if isinstance(dst, Span) else dst
+        if src_id is None or dst_id is None:
+            return None
+        flow_id = next(self._flow_ids)
+        self.record(self._clock_now(), "flow.link",
+                    flow=flow_id, src=src_id, dst=dst_id, edge=kind)
+        return flow_id
+
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> TraceSubscription:
         """Register a live callback invoked on every new record.
 
@@ -258,6 +310,10 @@ class _NullSpan:
     """Shared inert span: enter/exit/annotate all no-ops."""
 
     __slots__ = ()
+
+    #: Always None so a null span id stamped on a descriptor makes any
+    #: later ``link()`` a silent no-op.
+    span_id: Optional[int] = None
 
     def annotate(self, **fields: Any) -> "_NullSpan":
         return self
@@ -302,6 +358,12 @@ class NullTracer:
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def link(self, src: Any, dst: Any, kind: str = "flow") -> None:
+        return None
 
     def bind(self, clock: Any) -> "NullTracer":
         return self

@@ -45,6 +45,35 @@ def test_extract_phases_validation():
         extract_phases(t3)
 
 
+def test_extract_phases_allow_open_truncates_dangling():
+    t = Tracer()
+    t.record(1.0, "phase.start", phase="A")
+    t.record(2.0, "phase.end", phase="A")
+    t.record(2.0, "phase.start", phase="B")
+    t.record(3.5, "some.event")  # advances the trace clock past B's start
+    ivs = extract_phases(t, allow_open=True)
+    assert [iv.name for iv in ivs] == ["A", "B"]
+    assert not ivs[0].truncated
+    b = ivs[1]
+    assert b.truncated
+    # Closed at the last recorded trace time, not the phase start.
+    assert b.end == pytest.approx(3.5)
+    assert b.duration == pytest.approx(1.5)
+
+
+def test_extract_phases_allow_open_zero_length_tail():
+    # A phase opened by the very last record closes with zero duration
+    # instead of producing end < start.
+    t = Tracer()
+    t.record(1.0, "some.event")
+    t.record(4.0, "phase.start", phase="Tail")
+    ivs = extract_phases(t, allow_open=True)
+    assert len(ivs) == 1
+    assert ivs[0].truncated
+    assert ivs[0].start == pytest.approx(4.0)
+    assert ivs[0].end == pytest.approx(4.0)
+
+
 def test_render_timeline():
     ivs = [PhaseInterval("stall", 0.0, 0.1),
            PhaseInterval("migrate", 0.1, 0.5),

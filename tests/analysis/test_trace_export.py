@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import (
     chrome_trace,
     extract_phases,
+    read_jsonl,
     summarize_trace,
     write_chrome_trace,
     write_jsonl,
@@ -60,6 +61,69 @@ def test_chrome_trace_structure():
     names = [e for e in events if e["ph"] == "M"]
     assert any(e["name"] == "process_name"
                and e["args"]["name"] == "node0" for e in names)
+
+
+def test_read_jsonl_round_trips_tracer(tmp_path):
+    _, t = make_trace()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(t, str(path))
+    t2 = read_jsonl(str(path))
+    assert len(t2) == len(t)
+    assert t2.kinds() == t.kinds()
+    for a, b in zip(t.records, t2.records):
+        assert a.time == b.time and a.kind == b.kind
+    fill = t2.of_kind("pool.chunk.fill")[0]
+    assert fill["nbytes"] == 1024
+    # The loaded trace feeds the same analyses as the live one.
+    assert [iv.name for iv in extract_phases(t2)] == \
+        [iv.name for iv in extract_phases(t)]
+
+
+def make_flow_trace():
+    """Two slices on different lanes joined by one flow edge."""
+    t = Tracer()
+    clock = [0.0]
+    t.bind(lambda: clock[0])
+    with t.span("producer", node="n0") as src:
+        clock[0] = 1.0
+    clock[0] = 1.5
+    with t.span("consumer", node="n1") as dst:
+        clock[0] = 2.0
+    t.link(src, dst, "handoff")
+    return t
+
+
+def test_chrome_trace_emits_paired_flow_events():
+    doc = chrome_trace(make_flow_trace())
+    events = doc["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == len(finishes) == 1
+    s, f = starts[0], finishes[0]
+    assert s["id"] == f["id"]
+    assert s["name"] == f["name"] == "handoff"
+    assert s["cat"] == f["cat"] == "flow"
+    assert f["bp"] == "e"  # bind to the enclosing slice
+    # Each endpoint's ts is clamped inside its slice so viewers can bind
+    # the arrow: producer ran [0,1]s, consumer [1.5,2]s, link at t=2.
+    assert 0.0 <= s["ts"] <= 1e6
+    assert 1.5e6 <= f["ts"] <= 2e6
+    # Endpoints sit on the lanes of their respective slices.
+    xs = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert (s["pid"], s["tid"]) == (xs["producer"]["pid"],
+                                    xs["producer"]["tid"])
+    assert (f["pid"], f["tid"]) == (xs["consumer"]["pid"],
+                                    xs["consumer"]["tid"])
+
+
+def test_chrome_trace_drops_flows_with_missing_slices():
+    t = Tracer(clock=lambda: 0.0)
+    with t.span("only") as sp:
+        pass
+    t.record(0.0, "flow.link", flow=1, src=sp.span_id, dst=999,
+             edge="dangling")
+    events = chrome_trace(t)["traceEvents"]
+    assert not [e for e in events if e["ph"] in ("s", "f")]
 
 
 def test_chrome_trace_counter_track(tmp_path):

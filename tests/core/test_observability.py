@@ -42,10 +42,29 @@ def test_trace_spans_at_least_20_kinds_across_all_layers(observed):
 
 def test_schema_covers_only_known_layers():
     assert set(LAYERS) == {"framework", "buffer-pool", "checkpoint",
-                           "network", "ftb", "storage"}
+                           "network", "ftb", "storage", "flow"}
     for spec in TRACE_SCHEMA.values():
         assert spec.layer in LAYERS
         assert spec.doc
+
+
+def test_flow_links_emitted_at_every_cross_layer_handoff(observed):
+    """A full migration emits causal edges for each handoff the
+    profiler depends on, and every edge endpoint is a real span."""
+    tracer, _, _ = observed
+    links = tracer.of_kind("flow.link")
+    edges = {rec["edge"] for rec in links}
+    assert {"rdma.pull", "reassembly", "image.ready",
+            "ftb.event", "barrier"} <= edges, edges
+    span_ids = {rec["span"] for rec in tracer
+                if rec.kind.endswith(".start") and rec.get("span") is not None}
+    for rec in links:
+        assert rec["src"] in span_ids, rec
+        assert rec["dst"] in span_ids, rec
+    # New span kinds ride along in the same migration.
+    for kind in ("pool.reassemble.start", "rank.stall.end",
+                 "rank.resume.end", "ftb.deliver.start"):
+        assert tracer.of_kind(kind), f"missing {kind}"
 
 
 def test_phase_spans_match_report(observed):

@@ -59,6 +59,49 @@ def test_span_error_still_closes():
     assert "boom" in end["error"]
 
 
+def test_annotate_after_close_raises():
+    t = Tracer(clock=lambda: 0.0)
+    with t.span("op") as sp:
+        sp.annotate(ok=1)  # fine while open
+    with pytest.raises(RuntimeError, match="closed span 'op'"):
+        sp.annotate(late=1)
+    # The late annotation must not have leaked into the emitted record.
+    end = t.of_kind("op.end")[0]
+    assert end.get("late") is None
+    assert end["ok"] == 1
+
+
+def test_current_span_and_link():
+    t = Tracer(clock=lambda: 0.0)
+    assert t.current_span() is None
+    with t.span("producer") as src:
+        assert t.current_span() == src.span_id
+        src_id = t.current_span()
+    with t.span("consumer") as dst:
+        flow = t.link(src_id, dst, "handoff")
+    assert flow == 1
+    rec = t.of_kind("flow.link")[0]
+    assert rec["src"] == src.span_id
+    assert rec["dst"] == dst.span_id
+    assert rec["edge"] == "handoff"
+    # Flow ids are unique per tracer.
+    with t.span("again") as sp:
+        assert t.link(src_id, sp, "handoff") == 2
+
+
+def test_link_with_missing_endpoint_is_noop():
+    t = Tracer(clock=lambda: 0.0)
+    with t.span("only") as sp:
+        pass
+    assert t.link(None, sp, "x") is None
+    assert t.link(sp, None, "x") is None
+    assert t.of_kind("flow.link") == []
+    # NullTracer parity: link/current_span exist and return None.
+    assert NULL_TRACER.current_span() is None
+    with NULL_TRACER.span("a") as a, NULL_TRACER.span("b") as b:
+        assert NULL_TRACER.link(a, b, "x") is None
+
+
 def test_span_without_clock_raises():
     t = Tracer()
     with pytest.raises(RuntimeError):
@@ -208,6 +251,56 @@ def test_histogram_buckets_and_time_series():
     assert series[1]["t"] == 2.0 and series[1]["count"] == 1
     d = h.as_dict()
     assert d["min"] == 0.5 and d["max"] == 50.0
+
+
+def test_histogram_observation_on_bucket_bound():
+    """A value exactly on an upper bound falls into the NEXT bucket.
+
+    ``bisect_right`` gives exclusive upper bounds: bucket i holds
+    ``bounds[i-1] <= v < bounds[i]``.  This pins that behaviour so a
+    refactor to ``bisect_left`` (inclusive bounds) trips a test instead
+    of silently shifting every boundary observation.
+    """
+    h = MetricsRegistry(clock=lambda: 0.0).histogram(
+        "lat", buckets=(1.0, 10.0))
+    h.observe(0.999)   # below first bound -> bucket 0
+    h.observe(1.0)     # exactly on first bound -> bucket 1
+    h.observe(10.0)    # exactly on last bound -> overflow bucket
+    assert h.bucket_counts == [1, 1, 1]
+    d = h.as_dict()
+    assert d["buckets"] == [{"le": 1.0, "count": 1},
+                            {"le": 10.0, "count": 1},
+                            {"le": "inf", "count": 1}]
+
+
+def test_empty_histogram_summary():
+    h = MetricsRegistry(clock=lambda: 0.0).histogram("empty")
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.series() == []
+    d = h.as_dict()
+    assert d["count"] == 0 and d["sum"] == 0.0
+    # min/max are omitted rather than reported as +/-inf.
+    assert "min" not in d and "max" not in d
+    assert d["buckets"] == []
+
+
+def test_histogram_time_window_rollover():
+    """Windows are keyed on ``now // time_bucket``; gaps stay absent."""
+    clock = [0.0]
+    h = MetricsRegistry(clock=lambda: clock[0]).histogram(
+        "lat", buckets=(100.0,), time_bucket=2.0)
+    for t, v in [(1.999, 1.0),   # window 0
+                 (2.0, 2.0),     # exactly on the boundary -> window 1
+                 (3.9, 3.0),     # still window 1
+                 (10.0, 4.0)]:   # window 5 after a long idle gap
+        clock[0] = t
+        h.observe(v)
+    series = h.series()
+    assert [w["t"] for w in series] == [0.0, 2.0, 10.0]
+    assert [w["count"] for w in series] == [1, 2, 1]
+    assert series[1]["sum"] == pytest.approx(5.0)
+    assert series[1]["mean"] == pytest.approx(2.5)
 
 
 def test_registry_get_or_create_and_kind_conflict():

@@ -74,6 +74,53 @@ def test_observe_command_exports_artifacts(capsys, tmp_path):
     assert metrics["pool.pull.bytes"]["value"] > 0
 
 
+def test_critical_path_command(capsys):
+    out = run_cli(capsys, "critical-path", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--source", "node1")
+    assert "critical path" in out
+    assert "dominant component:" in out
+    assert "blcr.restart" in out
+    assert "phase:Restart" in out
+
+
+def test_critical_path_from_jsonl(capsys, tmp_path):
+    run_cli(capsys, "observe", "--app", "LU.C", "--nprocs", "8",
+            "--nodes", "2", "--source", "node1", "--out-dir", str(tmp_path))
+    out = run_cli(capsys, "critical-path", "--from-jsonl",
+                  str(tmp_path / "trace.jsonl"))
+    assert "dominant component:" in out
+    assert "blcr.restart" in out
+
+
+def test_bench_command_clean_and_regressing(capsys, tmp_path):
+    import json
+
+    from benchmarks.harness import BENCH_SCHEMA_VERSION
+
+    base = tmp_path / "baselines.json"
+    out = run_cli(capsys, "bench", "--only", "fig6", "--out-dir",
+                  str(tmp_path), "--baselines", str(base),
+                  "--update-baselines")
+    assert "updated baselines" in out
+    assert (tmp_path / "BENCH_fig6.json").exists()
+    # Clean rerun against the fresh baselines exits 0...
+    out = run_cli(capsys, "bench", "--only", "fig6", "--out-dir",
+                  str(tmp_path), "--baselines", str(base))
+    assert "within tolerance" in out
+    # ...and a tampered baseline makes the same run exit 1.
+    doc = json.loads(base.read_text())
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    key = next(iter(doc["benches"]["fig6"]))
+    doc["benches"]["fig6"][key] *= 2
+    base.write_text(json.dumps(doc))
+    rc = main(["bench", "--only", "fig6", "--out-dir", str(tmp_path),
+               "--baselines", str(base)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "REGRESSIONS" in out
+    assert "drifted" in out
+
+
 def test_bad_app_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["migrate", "--app", "FT.C"])
