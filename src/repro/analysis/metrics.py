@@ -2,14 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 from ..core.protocol import (
-    PHASE_ORDER,
-    CheckpointReport,
-    MigrationPhase,
-    MigrationReport,
-    RestartReport,
+    CheckpointReport, MigrationPhase, MigrationReport, RestartReport,
 )
 
 __all__ = ["migration_phase_breakdown", "cr_cycle_breakdown",

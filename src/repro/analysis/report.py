@@ -6,7 +6,7 @@ side with the paper's Figures 4-7 and Table I.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping
 
 __all__ = ["render_table", "render_stacked", "fmt_seconds"]
 

@@ -9,7 +9,7 @@ actually went and for regression checks on phase boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..simulate.trace import Tracer
 

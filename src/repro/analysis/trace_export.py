@@ -22,7 +22,7 @@ Sim time is seconds; trace-event ``ts``/``dur`` are microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 __all__ = ["write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",
            "metrics_payload", "write_metrics", "summarize_trace"]
@@ -35,6 +35,7 @@ _CATEGORIES = (
     ("blcr", "checkpoint"),
     ("nla", "launch"),
     ("pool", "buffer-pool"),
+    ("msg", "mpi"),
     ("qp", "network"),
     ("ib", "network"),
     ("mr", "network"),

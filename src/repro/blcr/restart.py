@@ -13,11 +13,9 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-import numpy as np
 
 from ..params import BLCRParams
 from ..simulate.core import Simulator
-from ..cluster.osproc import OSProcess
 from .image import CheckpointImage
 
 __all__ = ["RestartEngine", "RestartError"]

@@ -133,6 +133,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=None,
                        help="relative tolerance override")
 
+    san = sub.add_parser(
+        "sanitize",
+        help="run the protocol sanitizer over a bench scenario (or an "
+             "exported trace.jsonl); non-zero exit on any violation")
+    san.add_argument("--scenario", default="fig4",
+                     choices=["fig4", "fig6", "fig7"],
+                     help="bench scenario to replay under the checker")
+    san.add_argument("--from-jsonl", default=None, metavar="PATH",
+                     help="check an exported trace.jsonl instead of "
+                          "running simulations (no live-state checks)")
+    san.add_argument("--inject", default=None, metavar="FAULT",
+                     help="inject a named fault into every sub-run "
+                          "(see `repro sanitize --list-faults`)")
+    san.add_argument("--list-faults", action="store_true",
+                     help="list injectable faults and exit")
+    san.add_argument("--seed", type=int, default=0)
+    san.add_argument("--format", default="text", choices=["text", "json"])
+    san.add_argument("--max-report", type=int, default=20,
+                     help="cap on rendered violations (text format)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static AST lint: emit sites vs TRACE_SCHEMA, wall-clock "
+             "calls, unused imports; non-zero exit on any finding")
+    lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package sources)")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--no-emitter-coverage", action="store_true",
+                      help="skip the schema emitter-coverage cross-check")
+
     sub.add_parser("validate",
                    help="re-measure headline numbers and diff vs the paper")
     return parser
@@ -291,6 +322,76 @@ def _cmd_bench(args):
     return text, (1 if regressions else 0)
 
 
+def _cmd_sanitize(args):
+    """Protocol sanitizer: run a scenario (or replay a JSONL) checked."""
+    import json as _json
+
+    from .sanitize import FAULTS, check_jsonl, sanitize_scenario
+
+    if args.list_faults:
+        lines = [f"{name}: {doc}" for name, doc in sorted(FAULTS.items())]
+        return "\n".join(lines)
+    if args.inject is not None and args.inject not in FAULTS:
+        return (f"unknown fault {args.inject!r}; choose from "
+                f"{sorted(FAULTS)}"), 2
+    if args.from_jsonl:
+        result = check_jsonl(args.from_jsonl)
+    else:
+        result = sanitize_scenario(args.scenario, seed=args.seed,
+                                   fault=args.inject)
+    violations = result.violations
+    code = 0 if result.clean else 1
+    if args.format == "json":
+        payload = {
+            "scenario": result.scenario,
+            "fault": args.inject,
+            "records": result.n_records,
+            "runs": [{"name": r.name, "records": r.n_records,
+                      "violations": len(r.violations)} for r in result.runs],
+            "clean": result.clean,
+            "violations": [
+                {"rule": v.rule, "time": v.time, "message": v.message,
+                 "doc": v.doc,
+                 "record": (v.record.as_dict() if v.record is not None
+                            else None)}
+                for v in violations],
+        }
+        return _json.dumps(payload, indent=2, default=str), code
+    lines = [f"sanitize {result.scenario}: {len(result.runs)} run(s), "
+             f"{result.n_records} records checked"]
+    for run in result.runs:
+        verdict = "clean" if not run.violations else \
+            f"{len(run.violations)} violation(s)"
+        lines.append(f"  {run.name}: {run.n_records} records, {verdict}")
+    for v in violations[:args.max_report]:
+        lines.append(v.render())
+    if len(violations) > args.max_report:
+        lines.append(f"... and {len(violations) - args.max_report} more")
+    lines.append("PASS: no invariant violations" if code == 0
+                 else f"FAIL: {len(violations)} invariant violation(s)")
+    return "\n".join(lines), code
+
+
+def _cmd_lint(args):
+    """Static AST lint of emit sites, wall-clock calls, unused imports."""
+    import json as _json
+
+    from .sanitize import lint_paths
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    findings = lint_paths(paths,
+                          check_emitter_coverage=not args.no_emitter_coverage)
+    code = 0 if not findings else 1
+    if args.format == "json":
+        return _json.dumps({"paths": paths, "clean": not findings,
+                            "findings": [f.as_dict() for f in findings]},
+                           indent=2), code
+    lines = [f.render() for f in findings]
+    lines.append(f"{len(findings)} finding(s) in {len(paths)} path(s)"
+                 if findings else "lint clean")
+    return "\n".join(lines), code
+
+
 def _cmd_validate(args) -> str:
     from .validation import render_validation, run_validation
 
@@ -300,7 +401,8 @@ def _cmd_validate(args) -> str:
 _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "scale": _cmd_scale, "interval": _cmd_interval,
              "observe": _cmd_observe, "validate": _cmd_validate,
-             "critical-path": _cmd_critical_path, "bench": _cmd_bench}
+             "critical-path": _cmd_critical_path, "bench": _cmd_bench,
+             "sanitize": _cmd_sanitize, "lint": _cmd_lint}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -34,7 +34,7 @@ from ..params import MigrationParams
 from ..simulate.core import Event, Process, Simulator
 from ..simulate.resources import Store
 from ..network.fluid import Link
-from ..network.qp import CompletionQueue, QueuePair, WorkCompletion
+from ..network.qp import QueuePair, WorkCompletion
 from ..blcr.image import CheckpointImage
 from ..cluster.node import Cluster, Node
 
@@ -99,7 +99,8 @@ class AggregatingSink:
         if trace is not None:
             trace.record(self.sim.now, "pool.chunk.fill", seq=desc.seq,
                          proc=desc.proc_name, nbytes=nbytes,
-                         node=s.source.name, wait=self.sim.now - t_req)
+                         node=s.source.name, wait=self.sim.now - t_req,
+                         pool_offset=pool_offset)
         s.src_qp.post_send(("desc", desc.seq), _DESCRIPTOR_BYTES, payload=desc)
         # Don't wait for the pull: pipelining is the whole point.  The slot
         # comes back via the release path.
@@ -238,6 +239,11 @@ class RDMAMigrationSession:
             self.target.hca.deregister_mr(self.dst_mr)
         if self.src_qp is not None:
             self.src_qp.destroy()
+        if self.dst_qp is not None:
+            # The source-side destroy flushed this endpoint's receives, but
+            # its own adapter context (QP number, CQ) was never released —
+            # the target would leak one QP per migration.
+            self.dst_qp.destroy()
         if self._pumps:
             self.sim.spawn(self._assert_pumps_exit(),
                            name="mig-teardown-check")
@@ -291,8 +297,9 @@ class RDMAMigrationSession:
     def _pull_chunk(self, desc: ChunkDescriptor) -> Generator:
         t0 = self.sim.now
         with self.tracer.span("migration.rdma_pull", seq=desc.seq,
-                              proc=desc.proc_name,
-                              node=self.target.name) as sp:
+                              proc=desc.proc_name, node=self.target.name,
+                              src=self.source.name,
+                              rkey=self.src_mr.rkey) as sp:
             trace = self.sim.trace
             if trace is not None:
                 if desc.src_span is not None:

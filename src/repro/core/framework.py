@@ -15,10 +15,10 @@ in MVAPICH2 both designs share this infrastructure [14].
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from ..params import MigrationParams
-from ..simulate.core import Event, Simulator
+from ..simulate.core import Simulator
 from ..simulate.resources import Resource, Store
 from ..cluster.node import Cluster, Node, NodeState
 from ..ftb.agent import FTBBackplane

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["MigrationPhase", "MigrationReport", "CheckpointReport",
            "RestartReport", "PHASE_ORDER"]

@@ -8,14 +8,14 @@ Phase 3.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Optional
 
 from ..params import LaunchParams
 from ..simulate.core import Simulator
-from ..cluster.node import Cluster, Node
+from ..cluster.node import Cluster
 from ..ftb.agent import FTBBackplane
 from ..ftb.client import FTBClient
-from .nla import NLAState, NodeLaunchAgent
+from .nla import NodeLaunchAgent
 from .spawn_tree import SpawnTree
 
 __all__ = ["JobManager"]

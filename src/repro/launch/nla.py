@@ -12,7 +12,7 @@ spare.  The state machine follows Sec. III-A exactly:
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Generator, Iterable, List, Optional, TYPE_CHECKING
+from typing import Dict, Generator, Iterable, Optional
 
 from ..params import LaunchParams
 from ..simulate.core import Simulator
@@ -20,9 +20,6 @@ from ..blcr.image import CheckpointImage
 from ..blcr.restart import RestartEngine
 from ..cluster.node import Node
 from ..ftb.client import FTBClient
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..mpi.rank import MPIRank
 
 __all__ = ["NLAState", "NodeLaunchAgent"]
 

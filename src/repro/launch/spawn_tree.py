@@ -8,7 +8,7 @@ processes can be restarted; :meth:`SpawnTree.replace` models that step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["SpawnTree"]
 

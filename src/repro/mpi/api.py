@@ -22,7 +22,7 @@ counterparts.
 from __future__ import annotations
 
 import sys
-from typing import Any, Generator, Hashable, Optional
+from typing import Any, Generator, Hashable
 
 from .message import ANY_SOURCE, ANY_TAG
 from .rank import MPIRank

@@ -14,7 +14,7 @@ number; MPI's ordering rules make these agree across ranks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Generator, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .rank import MPIRank

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional
 
 from ..simulate.core import Process, Simulator
-from ..cluster.node import Cluster, Node
+from ..cluster.node import Cluster
 from ..cluster.osproc import OSProcess
 from .rank import MPIRank
 

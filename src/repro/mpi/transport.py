@@ -97,6 +97,11 @@ class Channel:
             tag, payload = wc.payload
             msg = Message(src=self.src.rank, dst=self.dst.rank, tag=tag,
                           nbytes=wc.nbytes, payload=payload)
+            trace = self.sim.trace
+            if trace is not None:
+                trace.record(self.sim.now, "msg.recv", src=self.src.rank,
+                             dst=self.dst.rank, nbytes=wc.nbytes,
+                             flush=tag == CR_FLUSH_TAG, tag=tag)
             if tag == CR_FLUSH_TAG:
                 self.dst.controller.on_flush_marker(self)
             else:
@@ -108,6 +113,11 @@ class Channel:
         if not self.alive:
             raise RuntimeError(
                 f"send on torn-down channel {self.src.rank}->{self.dst.rank}")
+        trace = self.sim.trace
+        if trace is not None:
+            trace.record(self.sim.now, "msg.send", src=self.src.rank,
+                         dst=self.dst.rank, nbytes=nbytes,
+                         flush=tag == CR_FLUSH_TAG, tag=tag)
         self.pending_sends += 1
         try:
             if nbytes > EAGER_THRESHOLD and tag != CR_FLUSH_TAG:
@@ -157,23 +167,36 @@ class ChannelManager:
         self._connecting: Dict[int, Event] = {}
 
     def get_channel(self, dst: "MPIRank") -> Generator:
-        """Generator: the (possibly freshly connected) channel to ``dst``."""
-        chan = self.outgoing.get(dst.rank)
-        if chan is not None and chan.alive:
-            return chan
-        inflight = self._connecting.get(dst.rank)
-        if inflight is not None:
+        """Generator: the (possibly freshly connected) channel to ``dst``.
+
+        Loops rather than assuming a piggy-backed connect succeeded: if the
+        task driving the handshake dies mid-establish, its waiters wake to
+        find no channel in the table and take over the connect themselves
+        instead of crashing on the missing entry.
+        """
+        while True:
+            chan = self.outgoing.get(dst.rank)
+            if chan is not None and chan.alive:
+                return chan
+            inflight = self._connecting.get(dst.rank)
+            if inflight is None:
+                break
             yield inflight
-            return self.outgoing[dst.rank]
         gate = Event(self.sim, name=f"connect:{self.rank.rank}->{dst.rank}")
         self._connecting[dst.rank] = gate
+        chan = Channel(self.sim, self.rank, dst)
+        established = False
         try:
-            chan = Channel(self.sim, self.rank, dst)
             yield from chan.establish()
+            established = True
             self.outgoing[dst.rank] = chan
             dst.incoming[self.rank.rank] = chan
             self.peers_contacted.add(dst.rank)
         finally:
+            if not established:
+                # Half-connected QPs would otherwise leak adapter state
+                # (and posted receives) with no owner to tear them down.
+                chan.teardown()
             del self._connecting[dst.rank]
             gate.succeed()
         return chan

@@ -40,7 +40,7 @@ floor as streams are added); network links keep the default of 1.0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..simulate.core import Event, Simulator

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..params import GigEParams, IBParams
+from ..params import GigEParams
 from ..simulate.core import Event, Simulator
 from .fluid import FluidNetwork, Link
 from .infiniband import IBFabric

@@ -19,8 +19,6 @@ from enum import Enum
 from itertools import count
 from typing import Any, Generator, Optional
 
-import numpy as np
-
 from ..simulate.core import Event, Simulator
 from ..simulate.resources import Resource, Store
 from .infiniband import HCA, IBFabric, MemoryRegion, RemoteKeyError
@@ -70,9 +68,13 @@ class WorkCompletion:
 class CompletionQueue:
     """FIFO of work completions, pollable by a sim process."""
 
-    def __init__(self, sim: Simulator, name: str = "cq"):
+    def __init__(self, sim: Simulator, name: str = "cq",
+                 owner_qp: Optional[int] = None):
         self.sim = sim
         self.name = name
+        #: qp_num of the QP this CQ serves, when dedicated to one — lets a
+        #: completion be attributed to its QP (shared CQs leave it None).
+        self.owner_qp = owner_qp
         self._entries: Store = Store(sim)
         m = sim.metrics
         self._m_completed = m.counter("qp.wqe.completed", unit="wqes")
@@ -95,7 +97,8 @@ class CompletionQueue:
         trace = self.sim.trace
         if trace is not None:
             trace.record(self.sim.now, "qp.complete", cq=self.name,
-                         opcode=wc.opcode, ok=wc.ok, nbytes=wc.nbytes)
+                         opcode=wc.opcode, ok=wc.ok, nbytes=wc.nbytes,
+                         qp=self.owner_qp)
         self._entries.put(wc)
 
     def poll(self, match: Optional[Any] = None) -> Event:
@@ -127,10 +130,12 @@ class QueuePair:
         self.sim = sim
         self.hca = hca
         self.fabric: IBFabric = hca.fabric
-        self.cq = cq or CompletionQueue(sim, name=f"cq.{hca.node}")
+        self.qp_num = next(self._ids)
+        self.cq = cq or CompletionQueue(sim, name=f"cq.{hca.node}",
+                                        owner_qp=self.qp_num)
         self.state = QPState.RESET
         self.peer: Optional["QueuePair"] = None
-        self.qp_num = next(self._ids)
+        self._destroyed = False
         self._recv_queue: Store = Store(sim)
         self._send_lock = Resource(sim, capacity=1)
         self._m_posted = sim.metrics.counter("qp.wqe.posted", unit="wqes")
@@ -142,6 +147,9 @@ class QueuePair:
         Costs one qp_setup_time (covers the state transitions and the
         address handle exchange).
         """
+        if self._destroyed or peer._destroyed:
+            raise RuntimeError("connect() on a destroyed QP: adapter context "
+                               "is gone, create a fresh pair")
         if self.state is not QPState.RESET or peer.state is not QPState.RESET:
             raise RuntimeError("connect() requires both QPs in RESET")
         self.state = peer.state = QPState.INIT
@@ -165,7 +173,14 @@ class QueuePair:
         dies: the peer's receive queue can never be satisfied once this side
         is gone, so leaving it posted would park the peer's poller forever
         (one leaked process per teardown).
+
+        Idempotent: tearing down an already-destroyed QP is a no-op, so the
+        session and channel layers can both release a shared pair without
+        double-emitting ``qp.destroy`` or re-flushing the peer.
         """
+        if self._destroyed:
+            return
+        self._destroyed = True
         trace = self.sim.trace
         if trace is not None:
             trace.record(self.sim.now, "qp.destroy", qp=self.qp_num,

@@ -9,7 +9,7 @@ bandwidth sharing.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Tuple
+from typing import Any, Generator
 
 from ..simulate.core import Event, Simulator
 from ..simulate.resources import Resource, Store

@@ -16,7 +16,7 @@ the paper's tables).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Dict
 
 __all__ = [
     "MB",

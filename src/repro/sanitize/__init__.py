@@ -1,0 +1,28 @@
+"""SimSan: protocol sanitizer + custom lint for the migration stack.
+
+Two halves:
+
+* the **dynamic trace checker** (:mod:`~repro.sanitize.invariants`,
+  :mod:`~repro.sanitize.checker`) — per-entity state machines enforcing
+  the paper's protocol laws over a live or replayed trace;
+* the **static AST lint** (:mod:`~repro.sanitize.lint`) — cross-checks
+  emit sites in the source against ``TRACE_SCHEMA`` and bans wall-clock
+  APIs from simulation code.
+
+CLI entry points: ``repro sanitize`` and ``repro lint``; see
+``docs/sanitizer.md``.
+"""
+
+from .checker import TraceChecker, live_checks
+from .faults import FAULTS, FaultInjector, make_injector
+from .invariants import Rule, Violation, default_rules
+from .lint import Finding, collect_emitted_kinds, lint_paths, lint_source
+from .runner import SanitizeResult, check_jsonl, sanitize_scenario
+
+__all__ = [
+    "TraceChecker", "live_checks",
+    "FAULTS", "FaultInjector", "make_injector",
+    "Rule", "Violation", "default_rules",
+    "Finding", "collect_emitted_kinds", "lint_paths", "lint_source",
+    "SanitizeResult", "check_jsonl", "sanitize_scenario",
+]

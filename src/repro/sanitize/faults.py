@@ -1,0 +1,136 @@
+"""Seeded protocol faults: forged trace records that break one invariant.
+
+Each injector is a tracer subscriber that waits for a trigger record and
+then emits a *forged* record (or record pair) violating exactly one law —
+a completion on a destroyed QP, a second pull of the same chunk, MPI
+chatter inside a stall window.  They exercise the sanitizer the way a
+fault-injection harness exercises a kernel: the simulation stays
+correct, the *trace* lies, and the checker must call the lie out.
+
+CI runs ``repro sanitize --scenario fig4 --inject post-destroy-send``
+and requires a non-zero exit naming the rule; a checker that goes blind
+fails the build.
+
+Attach the checker *before* the injector: subscribers run in
+subscription order, so the checker then sees the trigger record before
+the forged one — the same order an offline replay of the trace sees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..simulate.trace import TraceRecord, Tracer
+
+__all__ = ["FaultInjector", "FAULTS", "make_injector"]
+
+
+class FaultInjector:
+    """One-shot subscriber: on the trigger record, emit forged records."""
+
+    def __init__(self, name: str, doc: str,
+                 trigger: Callable[[TraceRecord], bool],
+                 forge: Callable[[Tracer, TraceRecord], None]):
+        self.name = name
+        self.doc = doc
+        self._trigger = trigger
+        self._forge = forge
+        self.fired = False
+        self._tracer: Optional[Tracer] = None
+        self._emitting = False
+
+    def attach(self, tracer: Tracer) -> "FaultInjector":
+        self._tracer = tracer
+        tracer.subscribe(self._on_record)
+        return self
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        # record() re-enters _notify for the forged records; the guard
+        # keeps the injector from triggering on its own forgeries.
+        if self.fired or self._emitting or not self._trigger(rec):
+            return
+        self._emitting = True
+        try:
+            self._forge(self._tracer, rec)
+            self.fired = True
+        finally:
+            self._emitting = False
+
+
+def _forged_span_ids(tracer: Tracer) -> int:
+    """A fresh span id so forged spans cannot collide with real ones."""
+    return next(tracer._span_ids)
+
+
+def _post_destroy_send(tracer: Tracer, rec: TraceRecord) -> None:
+    qp = rec.get("qp")
+    tracer.record(rec.time, "qp.complete", cq=f"cq.{rec.get('node')}",
+                  opcode="SEND", ok=True, nbytes=64, qp=qp)
+
+
+def _double_pull(tracer: Tracer, rec: TraceRecord) -> None:
+    span = _forged_span_ids(tracer)
+    fields = {k: rec.get(k) for k in ("seq", "proc", "node", "src", "rkey")}
+    tracer.record(rec.time, "migration.rdma_pull.start", span=span, **fields)
+    tracer.record(rec.time, "migration.rdma_pull.end", span=span,
+                  duration=0.0, **fields)
+
+
+def _stall_chatter(tracer: Tracer, rec: TraceRecord) -> None:
+    rank = rec.get("rank")
+    tracer.record(rec.time, "msg.send", src=rank, dst=(rank or 0) + 1,
+                  nbytes=1024, flush=False, tag=0)
+
+
+def _stale_rkey_pull(tracer: Tracer, rec: TraceRecord) -> None:
+    span = _forged_span_ids(tracer)
+    fields = dict(seq=10 ** 9, proc="forged.proc", node="nodeX",
+                  src=rec.get("node"), rkey=rec.get("rkey"))
+    tracer.record(rec.time, "migration.rdma_pull.start", span=span, **fields)
+    tracer.record(rec.time, "migration.rdma_pull.end", span=span,
+                  duration=0.0, **fields)
+
+
+def _double_free(tracer: Tracer, rec: TraceRecord) -> None:
+    tracer.record(rec.time, "pool.chunk.release",
+                  pool_offset=rec.get("pool_offset"), node=rec.get("node"))
+
+
+#: name -> (doc, trigger kind predicate, forge)
+_FAULT_TABLE = {
+    "post-destroy-send": (
+        "Forge a successful SEND completion on the first destroyed QP "
+        "(violates QPLifecycleRule).",
+        lambda r: r.kind == "qp.destroy", _post_destroy_send),
+    "double-pull": (
+        "Re-pull the first chunk after its pull completes "
+        "(violates ChunkLifecycleRule).",
+        lambda r: r.kind == "migration.rdma_pull.end", _double_pull),
+    "stall-chatter": (
+        "Send an MPI message from the first rank to finish stalling "
+        "(violates StallSilenceRule).",
+        lambda r: r.kind == "rank.stall.end", _stall_chatter),
+    "stale-rkey": (
+        "Pull through the first deregistered rkey "
+        "(violates RkeyRule).",
+        lambda r: r.kind == "mr.deregister", _stale_rkey_pull),
+    "double-free": (
+        "Release the first released pool slot a second time "
+        "(violates ChunkLifecycleRule).",
+        lambda r: r.kind == "pool.chunk.release", _double_free),
+}
+
+#: Injectable fault names, for CLI choices and tests.
+FAULTS: Dict[str, str] = {name: doc for name, (doc, _, _) in
+                          _FAULT_TABLE.items()}
+
+
+def make_injector(name: str) -> FaultInjector:
+    """A fresh injector for one named fault."""
+    try:
+        doc, trigger, forge = _FAULT_TABLE[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault {name!r}; choose from {sorted(_FAULT_TABLE)}"
+        ) from None
+    return FaultInjector(name, doc, trigger, forge)

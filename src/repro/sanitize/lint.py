@@ -1,0 +1,312 @@
+"""Static AST lint: cross-check emit sites against the schema registry.
+
+Four rules, all pure ``ast`` (no third-party dependencies):
+
+* ``unknown-kind`` — a literal ``record(t, "kind", ...)`` or
+  ``span("name", ...)`` whose kind/base is not declared in
+  ``TRACE_SCHEMA``/``SPAN_KINDS``;
+* ``missing-field`` — an emit site with literal keyword fields that do
+  not cover the kind's ``KindSpec.required`` tuple (sites that splat
+  ``**fields`` are skipped — they are checked dynamically instead);
+* ``wall-clock`` — simulation code calling a wall-clock or unseeded
+  randomness API (``time.time``/``perf_counter``/``monotonic``,
+  ``datetime.now``-family, the global ``random`` module functions, or
+  ``default_rng()``/``Random()`` with no seed) — simulated time comes
+  from ``sim.now`` and randomness from a seeded generator, or runs stop
+  being reproducible;
+* ``unused-import`` — an imported name never referenced in the module
+  (``__init__.py`` re-export surfaces are exempt).
+
+:func:`lint_paths` additionally folds in
+:func:`repro.simulate.schema.validate_emitters` over every collected
+emit site, so a kind declared in the schema that no code emits — or
+emitted but never declared — is a lint finding (``emitter-drift``),
+keeping the registry honest in both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..simulate.schema import SPAN_KINDS, TRACE_SCHEMA, validate_emitters
+
+__all__ = ["Finding", "lint_source", "lint_paths", "collect_emitted_kinds",
+           "iter_python_files"]
+
+#: Span identity fields supplied by the Span machinery, never by callers.
+_SPAN_AUTO_FIELDS = {"span", "parent", "duration", "error"}
+
+_WALL_CLOCK_CALLS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "time_ns"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "today"), ("datetime", "utcnow"),
+}
+
+#: Functions of the global ``random`` module (unseeded process-global RNG).
+_RANDOM_MODULE = "random"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint problem, pointing at a file/line."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` -> "a.b.c" for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _EmitSiteVisitor(ast.NodeVisitor):
+    """Finds record()/span() call sites and wall-clock calls."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self.emitted: List[str] = []
+
+    # -- helpers ------------------------------------------------------------
+    def _find(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, node.col_offset,
+                                     code, message))
+
+    def _has_splat(self, call: ast.Call) -> bool:
+        return any(kw.arg is None for kw in call.keywords)
+
+    def _check_required(self, call: ast.Call, kind: str,
+                        required: Tuple[str, ...], given: Set[str]) -> None:
+        if self._has_splat(call):
+            return  # dynamic fields: the SchemaRule checks these at runtime
+        missing = [f for f in required if f not in given]
+        if missing:
+            self._find(call, "missing-field",
+                       f"emit of {kind!r} lacks required field(s) "
+                       f"{missing} (schema: {sorted(required)})")
+
+    # -- visitors -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+
+        if attr == "record" and len(node.args) >= 2:
+            kind = _const_str(node.args[1])
+            if kind is not None:
+                self.emitted.append(kind)
+                spec = TRACE_SCHEMA.get(kind)
+                if spec is None:
+                    self._find(node, "unknown-kind",
+                               f"record() of undeclared kind {kind!r}")
+                else:
+                    given = {kw.arg for kw in node.keywords if kw.arg}
+                    self._check_required(node, kind, spec.required, given)
+
+        elif attr == "span" and node.args:
+            name = _const_str(node.args[0])
+            if name is not None:
+                self.emitted.append(name)
+                entry = SPAN_KINDS.get(name)
+                if entry is None:
+                    self._find(node, "unknown-kind",
+                               f"span() of undeclared base {name!r}")
+                else:
+                    required = tuple(f for f in entry[1]
+                                     if f not in _SPAN_AUTO_FIELDS)
+                    given = {kw.arg for kw in node.keywords if kw.arg}
+                    self._check_required(node, name, required, given)
+
+        elif attr == "link" and len(node.args) >= 3:
+            # tracer.link(src, dst, kind) emits a flow.link record.
+            self.emitted.append("flow.link")
+
+        self._check_wall_clock(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        tail2 = tuple(parts[-2:]) if len(parts) >= 2 else None
+        if tail2 in _WALL_CLOCK_CALLS:
+            self._find(node, "wall-clock",
+                       f"call to {dotted}() — simulation code must take "
+                       f"time from sim.now, not the wall clock")
+        elif len(parts) == 2 and parts[0] == _RANDOM_MODULE:
+            self._find(node, "wall-clock",
+                       f"call to {dotted}() — the process-global random "
+                       f"module is unseeded; use a seeded "
+                       f"np.random.default_rng(seed)")
+        elif parts[-1] in ("default_rng", "Random") and not node.args:
+            self._find(node, "wall-clock",
+                       f"call to {dotted}() with no seed — unseeded RNGs "
+                       f"make runs irreproducible")
+
+
+class _ImportUsageVisitor(ast.NodeVisitor):
+    """Collects imported names and every referenced Name id."""
+
+    def __init__(self) -> None:
+        self.imports: List[Tuple[str, int, int]] = []  # (name, line, col)
+        self.used: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self.imports.append((bound, node.lineno, node.col_offset))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self.imports.append((bound, node.lineno, node.col_offset))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    # Quoted forward references ('"MPIRank"', common under TYPE_CHECKING)
+    # use a name just as a live annotation would — but only in annotation
+    # position, so a docstring mentioning a name does not count as use.
+    def _note_annotation(self, node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    parsed = ast.parse(sub.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for ref in ast.walk(parsed):
+                    if isinstance(ref, ast.Name):
+                        self.used.add(ref.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        self._note_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._note_annotation(node.returns)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._note_annotation(node.returns)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                check_imports: bool = True) -> Tuple[List[Finding], List[str]]:
+    """Lint one module's source; returns (findings, emitted kinds)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return ([Finding(path, exc.lineno or 0, exc.offset or 0,
+                         "syntax-error", str(exc.msg))], [])
+    emits = _EmitSiteVisitor(path)
+    emits.visit(tree)
+    findings = emits.findings
+    if check_imports and not path.endswith("__init__.py"):
+        usage = _ImportUsageVisitor()
+        usage.visit(tree)
+        # __all__ strings count as use: a module may import purely to
+        # re-export under its public surface.
+        exported = {s for s in _module_all(tree)}
+        for name, line, col in usage.imports:
+            if name not in usage.used and name not in exported:
+                findings.append(Finding(path, line, col, "unused-import",
+                                        f"{name!r} imported but unused"))
+    return findings, emits.emitted
+
+
+def _module_all(tree: ast.Module) -> List[str]:
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            return [v for el in node.value.elts
+                    if (v := _const_str(el)) is not None]
+    return []
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories to a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                out.extend(os.path.join(root, f) for f in sorted(files)
+                           if f.endswith(".py"))
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(set(out))
+
+
+def collect_emitted_kinds(files: Iterable[str]) -> List[str]:
+    """Every literal kind/span base emitted across ``files``."""
+    emitted: List[str] = []
+    for fname in files:
+        with open(fname, "r", encoding="utf-8") as fh:
+            _, kinds = lint_source(fh.read(), fname, check_imports=False)
+        emitted.extend(kinds)
+    return emitted
+
+
+def lint_paths(paths: Sequence[str],
+               check_emitter_coverage: bool = True) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; sorted findings.
+
+    Emitter coverage (``emitter-drift``) is computed over the non-test,
+    non-sanitize production files, so the fault injectors' forged emits
+    cannot mask a kind that lost its real emitter.
+    """
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    emitted: List[str] = []
+    for fname in files:
+        with open(fname, "r", encoding="utf-8") as fh:
+            file_findings, kinds = lint_source(fh.read(), fname)
+        findings.extend(file_findings)
+        if f"{os.sep}sanitize{os.sep}" not in fname:
+            emitted.extend(kinds)
+    if check_emitter_coverage and emitted:
+        for problem in validate_emitters(emitted):
+            findings.append(Finding("repro/simulate/schema.py", 0, 0,
+                                    "emitter-drift", problem))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

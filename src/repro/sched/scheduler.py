@@ -17,11 +17,11 @@ Failures arrive per-node as a Poisson process (exponential inter-arrival,
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 import numpy as np
 
-from ..simulate.core import Event, Interrupt, Simulator
+from ..simulate.core import Simulator
 from ..simulate.resources import Container, Store
 from .jobs import BatchJobSpec, JobRecord, JobState
 

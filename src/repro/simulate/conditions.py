@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from .core import Event, PENDING, Simulator
+from .core import Event, Simulator
 
 __all__ = ["Condition", "AnyOf", "AllOf", "ConditionValue"]
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import weakref
 from itertools import count
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Generator, Iterable, List, Optional
 
 __all__ = [
     "Simulator",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Generic, List, Optional, TypeVar
 
-from .core import Event, Simulator, SimulationError
+from .core import Event, Simulator
 
 __all__ = ["Resource", "Store", "Container", "PriorityStore"]
 

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Set, Tuple
 from .trace import TraceRecord
 
 __all__ = ["KindSpec", "TRACE_SCHEMA", "SPAN_KINDS", "validate_record",
-           "validate_trace", "layers_covered", "LAYERS"]
+           "validate_trace", "validate_emitters", "layers_covered", "LAYERS"]
 
 
 class KindSpec:
@@ -50,7 +50,8 @@ SPAN_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                   "One full four-phase migration cycle."),
     "phase": ("framework", ("phase",),
               "One migration/CR phase (STALL/MIGRATION/RESTART/RESUME)."),
-    "migration.rdma_pull": ("buffer-pool", ("seq", "proc", "node"),
+    "migration.rdma_pull": ("buffer-pool", ("seq", "proc", "node", "src",
+                                            "rkey"),
                             "Target-side RDMA Read of one pool chunk."),
     "blcr.checkpoint": ("checkpoint", ("proc", "node", "incremental"),
                         "BLCR scan+stream of one process image."),
@@ -80,7 +81,8 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                          ("source", "target", "bytes", "chunks"),
                          "Session closed; resources released."),
     "pool.chunk.fill": ("buffer-pool",
-                        ("seq", "proc", "nbytes", "node", "wait"),
+                        ("seq", "proc", "nbytes", "node", "wait",
+                         "pool_offset"),
                         "Source-side writer filled one pool chunk."),
     "pool.chunk.release": ("buffer-pool", ("pool_offset", "node"),
                            "Source freed a pool slot after the pull."),
@@ -121,6 +123,10 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                    "Striped write across the PVFS servers."),
     "pvfs.read": ("storage", ("client", "path", "nbytes", "stripes"),
                   "Striped read from the PVFS servers."),
+    "msg.send": ("mpi", ("src", "dst", "nbytes", "flush"),
+                 "One MPI point-to-point message leaving a rank."),
+    "msg.recv": ("mpi", ("src", "dst", "nbytes", "flush"),
+                 "One MPI point-to-point message arriving at a rank."),
     "flow.link": ("flow", ("flow", "src", "dst", "edge"),
                   "Causal edge between two spans across a task boundary "
                   "(chunk fill->pull, publish->deliver, image->restart, "
@@ -179,3 +185,29 @@ def layers_covered(trace: Iterable[TraceRecord]) -> Set[str]:
     """Which declared layers the trace has at least one record from."""
     return {TRACE_SCHEMA[rec.kind].layer for rec in trace
             if rec.kind in TRACE_SCHEMA}
+
+
+def validate_emitters(emitted: Iterable[str]) -> List[str]:
+    """Cross-check the set of kinds code actually emits against the schema.
+
+    ``emitted`` is the collection of kind strings found at emit sites —
+    literal ``record(kind=...)`` arguments plus ``span(name)`` base names
+    (a span base counts as emitting both its ``.start`` and ``.end``).
+    Returns problem strings for (a) emitted kinds the schema does not
+    declare and (b) declared kinds no code emits.  Used by ``repro lint``
+    and the schema tests so the registry can neither rot ahead of nor
+    behind the code.
+    """
+    emitted_kinds: Set[str] = set()
+    for name in emitted:
+        if name in SPAN_KINDS:
+            emitted_kinds.add(f"{name}.start")
+            emitted_kinds.add(f"{name}.end")
+        else:
+            emitted_kinds.add(name)
+    problems = [f"emitted kind {k!r} is not declared in TRACE_SCHEMA"
+                for k in sorted(emitted_kinds - set(TRACE_SCHEMA))]
+    problems.extend(
+        f"declared kind {k!r} has no emitter in the codebase"
+        for k in sorted(set(TRACE_SCHEMA) - emitted_kinds))
+    return problems

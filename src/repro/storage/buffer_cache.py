@@ -13,9 +13,9 @@ fsyncs its files and therefore always pays the disk.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
-from ..simulate.core import Event, Simulator
+from ..simulate.core import Simulator
 from ..simulate.resources import Container
 from .disk import Disk
 

@@ -10,7 +10,7 @@ was checked at.  Useful after touching any calibrated constant — it answers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import List, Tuple
 
 from .core.protocol import MigrationPhase
 from .scenario import Scenario

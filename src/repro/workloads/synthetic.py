@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..mpi.rank import MPIRank
 

@@ -24,6 +24,9 @@ def observed():
     sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
                         iterations=20, trace=tracer, metrics=registry)
     report = sc.run_migration("node1", at=2.0)
+    # Run the app to the end so steady-state MPI traffic (msg.* records)
+    # is part of the observed trace alongside the migration cycle.
+    sc.run_to_completion()
     return tracer, registry, report
 
 
@@ -42,7 +45,7 @@ def test_trace_spans_at_least_20_kinds_across_all_layers(observed):
 
 def test_schema_covers_only_known_layers():
     assert set(LAYERS) == {"framework", "buffer-pool", "checkpoint",
-                           "network", "ftb", "storage", "flow"}
+                           "network", "mpi", "ftb", "storage", "flow"}
     for spec in TRACE_SCHEMA.values():
         assert spec.layer in LAYERS
         assert spec.doc

@@ -1,0 +1,1 @@
+"""Tests for the protocol sanitizer and lint pass."""

@@ -1,0 +1,86 @@
+"""Checker-machinery tests: containment, live attachment, idempotence."""
+
+from repro.sanitize import TraceChecker
+from repro.sanitize.invariants import Rule, SchemaRule
+from repro.simulate.trace import Tracer
+
+
+class _ExplodingRule(Rule):
+    """A rule whose feed always raises (deliberately broken)."""
+
+    def feed(self, rec):
+        raise ValueError("boom")
+
+
+class _CountingRule(Rule):
+    """Counts records; reports nothing."""
+
+    def __init__(self):
+        super().__init__()
+        self.n = 0
+
+    def feed(self, rec):
+        self.n += 1
+
+
+class _FinishOnlyRule(Rule):
+    """Reports one timeless violation at end of trace."""
+
+    def finish(self):
+        self.report("end-of-trace law broken", time=float("nan"))
+
+
+def test_broken_rule_is_detached_not_fatal():
+    counting = _CountingRule()
+    checker = TraceChecker(rules=[_ExplodingRule(), counting])
+    tracer = Tracer()
+    checker.attach(tracer)
+    tracer.record(0.0, "qp.destroy", qp=1)
+    tracer.record(1.0, "qp.destroy", qp=2)
+    violations = checker.finish()
+    # One rule-internal-error for the first record; then detached.
+    internal = [v for v in violations if v.rule == "rule-internal-error"]
+    assert len(internal) == 1
+    assert "boom" in internal[0].message
+    # The healthy rule kept seeing every record.
+    assert counting.n == 2
+
+
+def test_live_and_offline_paths_agree():
+    tracer = Tracer()
+    tracer.record(0.0, "undeclared.kind", x=1)
+
+    live = TraceChecker(rules=[SchemaRule()])
+    sub = live.attach(Tracer())  # fresh tracer; replay manually below
+    for rec in tracer:
+        live.feed(rec)
+    sub.unsubscribe()
+
+    offline = TraceChecker.check_trace(tracer, rules=[SchemaRule()])
+    assert [v.message for v in live.finish()] == \
+        [v.message for v in offline]
+
+
+def test_finish_is_idempotent():
+    checker = TraceChecker(rules=[_FinishOnlyRule()])
+    first = checker.finish()
+    second = checker.finish()
+    assert len(first) == 1
+    assert second is first or len(second) == 1
+
+
+def test_nan_finish_time_replaced_with_last_record_time():
+    checker = TraceChecker(rules=[_FinishOnlyRule()])
+    tracer = Tracer()
+    checker.attach(tracer)
+    tracer.record(42.5, "qp.destroy", qp=1)
+    violations = checker.finish()
+    assert violations[0].time == 42.5  # not NaN: renderable and JSON-safe
+
+
+def test_attach_sees_records_emitted_after_subscription():
+    checker = TraceChecker(rules=[SchemaRule()])
+    tracer = Tracer()
+    checker.attach(tracer)
+    tracer.record(0.0, "not.a.kind")
+    assert checker.finish()

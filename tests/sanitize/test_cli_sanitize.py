@@ -1,0 +1,96 @@
+"""CLI tests for ``repro sanitize`` and ``repro lint``."""
+
+import json
+
+import pytest
+
+from repro.analysis import write_jsonl
+from repro.cli import main
+from repro.scenario import Scenario
+from repro.simulate.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def clean_jsonl(tmp_path_factory):
+    """A completed small migration exported to JSONL."""
+    tracer = Tracer()
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=10, seed=0, trace=tracer)
+    sc.run_migration("node1", at=5.0)
+    sc.run_to_completion()
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    write_jsonl(tracer, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def violating_jsonl(tmp_path):
+    """A hand-forged trace breaking the QP lifecycle law."""
+    tracer = Tracer()
+    tracer.record(0.0, "qp.connect", qp=1, peer=2, node="a", peer_node="b")
+    tracer.record(0.1, "qp.destroy", qp=1, node="a")
+    tracer.record(0.2, "qp.complete", cq="cq.a", opcode="SEND", ok=True,
+                  nbytes=64, qp=1)
+    tracer.record(0.3, "qp.destroy", qp=2, node="b")
+    path = tmp_path / "bad.jsonl"
+    write_jsonl(tracer, str(path))
+    return str(path)
+
+
+def test_sanitize_list_faults(capsys):
+    assert main(["sanitize", "--list-faults"]) == 0
+    out = capsys.readouterr().out
+    for fault in ("post-destroy-send", "double-pull", "stall-chatter",
+                  "stale-rkey", "double-free"):
+        assert fault in out
+
+
+def test_sanitize_unknown_fault_exits_2(capsys):
+    assert main(["sanitize", "--scenario", "fig4",
+                 "--inject", "no-such-fault"]) == 2
+    assert "unknown fault" in capsys.readouterr().out
+
+
+def test_sanitize_clean_jsonl_exits_0(capsys, clean_jsonl):
+    assert main(["sanitize", "--from-jsonl", clean_jsonl]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_sanitize_violating_jsonl_exits_1_naming_rule(capsys,
+                                                      violating_jsonl):
+    assert main(["sanitize", "--from-jsonl", violating_jsonl]) == 1
+    out = capsys.readouterr().out
+    assert "QPLifecycleRule" in out
+    assert "FAIL" in out
+
+
+def test_sanitize_json_format(capsys, violating_jsonl):
+    assert main(["sanitize", "--from-jsonl", violating_jsonl,
+                 "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["clean"] is False
+    assert any(v["rule"] == "QPLifecycleRule" for v in doc["violations"])
+
+
+def test_lint_default_paths_clean(capsys):
+    assert main(["lint"]) == 0
+    assert "lint clean" in capsys.readouterr().out
+
+
+def test_lint_json_format(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["clean"] is True
+    assert doc["findings"] == []
+
+
+def test_lint_flags_bad_file(capsys, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import os\n"
+                   "def go(trace, t):\n"
+                   "    trace.record(t, 'no.such.kind')\n")
+    rc = main(["lint", str(bad), "--no-emitter-coverage"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "unknown-kind" in out
+    assert "unused-import" in out

@@ -1,0 +1,99 @@
+"""docs/observability.md and TRACE_SCHEMA must describe the same world.
+
+The doc's "Kinds per layer" table holds fnmatch globs per layer and a
+"48 kinds across 8 layers" headline; both rot silently when a kind is
+added.  This test parses the markdown and fails on any drift, in either
+direction: a kind no glob covers, a glob no kind matches, a layer
+missing from the table, or stale counts.
+"""
+
+import fnmatch
+import os
+import re
+from collections import defaultdict
+
+import pytest
+
+from repro.simulate.schema import LAYERS, TRACE_SCHEMA
+
+DOC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "docs", "observability.md")
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    with open(DOC, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+@pytest.fixture(scope="module")
+def table_globs(doc_text):
+    """{layer: [glob, ...]} parsed from the kinds-per-layer table."""
+    globs = {}
+    in_table = False
+    for line in doc_text.splitlines():
+        if re.match(r"\|\s*layer\s*\|\s*kinds\s*\|", line):
+            in_table = True
+            continue
+        if in_table:
+            if re.fullmatch(r"\|[-\s|]+\|", line.strip()):
+                continue  # the |---|---| separator row
+            m = re.match(r"\|\s*([\w-]+)\s*\|(.*)\|", line)
+            if m is None:
+                break  # table ended
+            layer, cell = m.group(1), m.group(2)
+            globs[layer] = re.findall(r"`([^`]+)`", cell)
+    assert globs, "kinds-per-layer table not found in docs/observability.md"
+    return globs
+
+
+def schema_by_layer():
+    by = defaultdict(set)
+    for kind, spec in TRACE_SCHEMA.items():
+        by[spec.layer].add(kind)
+    return by
+
+
+def test_table_covers_exactly_the_schema_layers(table_globs):
+    assert set(table_globs) == set(LAYERS)
+
+
+def test_every_kind_is_covered_by_its_layer_row(table_globs):
+    missing = []
+    for layer, kinds in schema_by_layer().items():
+        for kind in kinds:
+            if not any(fnmatch.fnmatchcase(kind, g)
+                       for g in table_globs.get(layer, [])):
+                missing.append(f"{layer}: {kind}")
+    assert missing == [], (
+        "kinds in TRACE_SCHEMA not covered by their layer's table row "
+        f"in docs/observability.md: {missing}")
+
+
+def test_every_glob_matches_at_least_one_kind(table_globs):
+    by_layer = schema_by_layer()
+    dead = []
+    for layer, globs in table_globs.items():
+        for g in globs:
+            if not any(fnmatch.fnmatchcase(kind, g)
+                       for kind in by_layer.get(layer, ())):
+                dead.append(f"{layer}: {g}")
+    assert dead == [], (
+        f"table globs matching no schema kind (stale doc rows): {dead}")
+
+
+def test_headline_counts_match_schema(doc_text):
+    m = re.search(r"(\d+) kinds across (\d+) layers", doc_text)
+    assert m, "kinds/layers headline sentence not found"
+    assert int(m.group(1)) == len(TRACE_SCHEMA), \
+        f"doc claims {m.group(1)} kinds, schema has {len(TRACE_SCHEMA)}"
+    assert int(m.group(2)) == len(LAYERS), \
+        f"doc claims {m.group(2)} layers, schema has {len(LAYERS)}"
+
+
+def test_headline_names_every_layer(doc_text):
+    m = re.search(r"\d+ kinds across \d+ layers\s*\(([^)]*)\)",
+                  doc_text, re.S)
+    assert m, "layer enumeration not found next to the headline"
+    named = set(re.findall(r"`([\w-]+)`", m.group(1)))
+    assert named == set(LAYERS)

@@ -1,0 +1,60 @@
+"""Integration: a full LU.C migration passes the sanitizer clean, and an
+exported trace replays offline to the same verdict."""
+
+import pytest
+
+from repro.analysis import write_jsonl
+from repro.sanitize import TraceChecker, check_jsonl, make_injector
+from repro.sanitize.checker import live_checks
+from repro.scenario import Scenario
+from repro.simulate.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def migrated():
+    """One completed LU.C migration with the checker attached live."""
+    tracer = Tracer()
+    checker = TraceChecker()
+    checker.attach(tracer)
+    sc = Scenario.build(app="LU.C", nprocs=16, n_compute=4, n_spare=1,
+                        iterations=20, seed=0, trace=tracer)
+    sc.run_migration("node2", at=5.0)
+    sc.run_to_completion()
+    return sc, tracer, checker
+
+
+def test_full_migration_is_clean_live(migrated):
+    sc, tracer, checker = migrated
+    violations = list(checker.finish())
+    violations.extend(live_checks(sc.sim, sc.cluster, sc.backplane))
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_exported_trace_replays_clean_offline(migrated, tmp_path):
+    _, tracer, _ = migrated
+    path = str(tmp_path / "trace.jsonl")
+    n = write_jsonl(tracer, path)
+    assert n == len(tracer)
+    result = check_jsonl(path)
+    assert result.clean, "\n".join(v.render() for v in result.violations)
+    assert result.n_records == n
+
+
+def test_injected_fault_reproduces_offline(tmp_path):
+    """A violation caught live must also be caught replaying the export —
+    the property that makes CI replay trustworthy."""
+    tracer = Tracer()
+    live = TraceChecker()
+    live.attach(tracer)
+    make_injector("stale-rkey").attach(tracer)
+    sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
+                        iterations=10, seed=0, trace=tracer)
+    sc.run_migration("node1", at=5.0)
+    sc.run_to_completion()
+    live_rules = {v.rule for v in live.finish()}
+    assert "RkeyRule" in live_rules
+
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(tracer, path)
+    offline_rules = {v.rule for v in check_jsonl(path).violations}
+    assert "RkeyRule" in offline_rules

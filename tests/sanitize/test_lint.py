@@ -1,0 +1,265 @@
+"""Static lint tests: emit-site schema checks, wall-clock/RNG hygiene,
+unused imports, and schema<->emitter drift."""
+
+import textwrap
+
+from repro.sanitize import collect_emitted_kinds, lint_paths, lint_source
+from repro.simulate.schema import TRACE_SCHEMA, validate_emitters
+
+
+def findings_for(source, **kw):
+    findings, _ = lint_source(textwrap.dedent(source), "mod.py", **kw)
+    return findings
+
+
+def codes(source, **kw):
+    return [f.code for f in findings_for(source, **kw)]
+
+
+# ---------------------------------------------------------------------------
+# unknown-kind / missing-field
+# ---------------------------------------------------------------------------
+
+def test_record_of_undeclared_kind():
+    assert codes("""
+        def go(trace, t):
+            trace.record(t, "no.such.kind", node="n")
+    """) == ["unknown-kind"]
+
+
+def test_span_of_undeclared_base():
+    assert codes("""
+        def go(tracer):
+            with tracer.span("no.such.span", node="n"):
+                pass
+    """) == ["unknown-kind"]
+
+
+def test_record_missing_required_field():
+    found = findings_for("""
+        def go(trace, t):
+            trace.record(t, "qp.destroy", qp=3)
+    """)
+    assert [f.code for f in found] == ["missing-field"]
+    assert "node" in found[0].message
+
+
+def test_record_with_all_required_fields_is_clean():
+    assert codes("""
+        def go(trace, t):
+            trace.record(t, "qp.destroy", qp=3, node="n")
+    """) == []
+
+
+def test_splatted_fields_are_skipped():
+    # **fields is dynamic; the runtime SchemaRule owns that case.
+    assert codes("""
+        def go(trace, t, fields):
+            trace.record(t, "qp.destroy", **fields)
+    """) == []
+
+
+def test_span_with_all_required_fields_is_clean():
+    assert codes("""
+        def go(tracer):
+            with tracer.span("blcr.checkpoint", proc="p", node="n",
+                             incremental=False):
+                pass
+    """) == []
+
+
+def test_span_missing_required_field():
+    found = findings_for("""
+        def go(tracer):
+            with tracer.span("blcr.checkpoint", proc="p"):
+                pass
+    """)
+    assert [f.code for f in found] == ["missing-field"]
+
+
+def test_dynamic_kind_is_not_checked():
+    assert codes("""
+        def go(trace, t, kind):
+            trace.record(t, kind, node="n")
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# wall-clock / unseeded randomness
+# ---------------------------------------------------------------------------
+
+def test_wall_clock_time_call():
+    assert codes("""
+        import time
+        def go():
+            return time.time()
+    """) == ["wall-clock"]
+
+
+def test_wall_clock_perf_counter():
+    assert codes("""
+        import time
+        def go():
+            return time.perf_counter()
+    """) == ["wall-clock"]
+
+
+def test_wall_clock_datetime_now():
+    assert codes("""
+        from datetime import datetime
+        def go():
+            return datetime.now()
+    """) == ["wall-clock"]
+
+
+def test_global_random_module():
+    assert codes("""
+        import random
+        def go():
+            return random.random()
+    """) == ["wall-clock"]
+
+
+def test_unseeded_default_rng():
+    assert codes("""
+        from numpy.random import default_rng
+        def go():
+            return default_rng()
+    """) == ["wall-clock"]
+
+
+def test_seeded_default_rng_is_clean():
+    assert codes("""
+        from numpy.random import default_rng
+        def go(seed):
+            return default_rng(seed)
+    """) == []
+
+
+def test_sim_now_is_clean():
+    assert codes("""
+        def go(sim):
+            return sim.now
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# unused-import
+# ---------------------------------------------------------------------------
+
+def test_unused_import_flagged():
+    found = findings_for("""
+        import os
+        import json
+
+        def go():
+            return json.dumps({})
+    """)
+    assert [f.code for f in found] == ["unused-import"]
+    assert "'os'" in found[0].message
+
+
+def test_quoted_annotation_counts_as_use():
+    # The TYPE_CHECKING idiom: imported only for a forward reference.
+    assert codes("""
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from foo import Bar
+
+        def go(x: "Bar") -> "Bar":
+            y: "Bar" = x
+            return y
+    """) == []
+
+
+def test_docstring_mention_is_not_a_use():
+    assert codes('''
+        from foo import Bar
+
+        def go():
+            """Bar is mentioned here but never used."""
+            return None
+    ''') == ["unused-import"]
+
+
+def test_dunder_all_export_counts_as_use():
+    assert codes("""
+        from foo import Bar
+
+        __all__ = ["Bar"]
+    """) == []
+
+
+def test_init_py_is_exempt_from_import_check():
+    findings, _ = lint_source("from foo import Bar\n",
+                              "pkg/__init__.py")
+    assert findings == []
+
+
+def test_check_imports_false_disables_rule():
+    assert codes("import os\n", check_imports=False) == []
+
+
+def test_syntax_error_is_one_finding():
+    found = findings_for("def broken(:\n")
+    assert [f.code for f in found] == ["syntax-error"]
+
+
+# ---------------------------------------------------------------------------
+# emitter coverage / schema drift
+# ---------------------------------------------------------------------------
+
+def test_collect_emitted_kinds(tmp_path):
+    mod = tmp_path / "m.py"
+    mod.write_text(textwrap.dedent("""
+        def go(trace, tracer, t):
+            trace.record(t, "qp.destroy", qp=1, node="n")
+            with tracer.span("blcr.checkpoint"):
+                pass
+            tracer.link(1, 2, "edge")
+    """))
+    kinds = collect_emitted_kinds([str(mod)])
+    assert set(kinds) == {"qp.destroy", "blcr.checkpoint", "flow.link"}
+
+
+def test_validate_emitters_flags_drift_both_ways():
+    problems = validate_emitters(["qp.destroy", "totally.bogus"])
+    text = "\n".join(problems)
+    assert "totally.bogus" in text              # emitted but undeclared
+    assert "declared" in text                   # declared but unemitted
+    # qp.destroy itself must not be reported as unemitted.
+    assert not any("'qp.destroy'" in p and "declared" in p
+                   for p in problems)
+
+
+def test_validate_emitters_clean_when_all_covered():
+    span_bases = {k[: k.rindex(".")] for k in TRACE_SCHEMA
+                  if k.endswith((".start", ".end"))}
+    plain = {k for k in TRACE_SCHEMA
+             if not k.endswith((".start", ".end"))}
+    assert validate_emitters(sorted(span_bases | plain)) == []
+
+
+def test_lint_paths_folds_in_emitter_drift(tmp_path):
+    mod = tmp_path / "m.py"
+    mod.write_text("def go(trace, t):\n"
+                   "    trace.record(t, 'qp.destroy', qp=1, node='n')\n")
+    findings = lint_paths([str(tmp_path)])
+    assert any(f.code == "emitter-drift" for f in findings)
+
+
+def test_lint_paths_skips_emitter_check_on_request(tmp_path):
+    mod = tmp_path / "m.py"
+    mod.write_text("def go(trace, t):\n"
+                   "    trace.record(t, 'qp.destroy', qp=1, node='n')\n")
+    assert lint_paths([str(tmp_path)], check_emitter_coverage=False) == []
+
+
+def test_production_tree_is_lint_clean():
+    """The shipped baseline: zero findings over src/repro."""
+    import repro
+
+    import os
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))
+    findings = lint_paths([pkg])
+    assert findings == [], "\n".join(f.render() for f in findings)
