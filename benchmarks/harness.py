@@ -62,10 +62,12 @@ def default_baselines_path() -> str:
 # -- building blocks ---------------------------------------------------------
 
 def _traced_migration(app: str, nprocs: int = 64, n_compute: int = 8,
-                      seed: int = 0) -> Tuple[Any, Tracer]:
+                      seed: int = 0,
+                      restart_mode: str = "file") -> Tuple[Any, Tracer]:
     tracer = Tracer()
     sc = Scenario.build(app=app, nprocs=nprocs, n_compute=n_compute,
-                        n_spare=1, iterations=40, seed=seed, trace=tracer)
+                        n_spare=1, iterations=40, seed=seed, trace=tracer,
+                        restart_mode=restart_mode)
     report = sc.run_migration("node3", at=5.0)
     return report, tracer
 
@@ -101,14 +103,14 @@ def _delta(measured: float, paper: float) -> Dict[str, float]:
 
 # -- the benches -------------------------------------------------------------
 
-def bench_fig4() -> Dict[str, Any]:
+def bench_fig4(restart_mode: str = "file") -> Dict[str, Any]:
     """Fig. 4: migration phase breakdown, 64 ranks on 8 nodes, per app."""
     results: Dict[str, Any] = {}
     deltas: Dict[str, Any] = {}
     blames: Dict[str, Any] = {}
     dominants: Dict[str, Any] = {}
     for app in ("LU.C", "BT.C", "SP.C"):
-        report, tracer = _traced_migration(app)
+        report, tracer = _traced_migration(app, restart_mode=restart_mode)
         results[app] = {k: round(v, 6)
                         for k, v in migration_phase_breakdown(report).items()}
         deltas[app] = {"total": _delta(report.total_seconds,
@@ -120,14 +122,15 @@ def bench_fig4() -> Dict[str, Any]:
             "dominant": dominants}
 
 
-def bench_fig6() -> Dict[str, Any]:
+def bench_fig6(restart_mode: str = "file") -> Dict[str, Any]:
     """Fig. 6: LU.C ranks/node sweep on 8 compute nodes."""
     results: Dict[str, Any] = {}
     deltas: Dict[str, Any] = {}
     blames: Dict[str, Any] = {}
     dominants: Dict[str, Any] = {}
     for ppn, paper_total in FIG6_TOTAL_S.items():
-        report, tracer = _traced_migration("LU.C", nprocs=8 * ppn)
+        report, tracer = _traced_migration("LU.C", nprocs=8 * ppn,
+                                           restart_mode=restart_mode)
         key = f"ppn{ppn}"
         results[key] = {k: round(v, 6)
                         for k, v in migration_phase_breakdown(report).items()}
@@ -141,14 +144,14 @@ def bench_fig6() -> Dict[str, Any]:
             "dominant": dominants}
 
 
-def bench_fig7() -> Dict[str, Any]:
+def bench_fig7(restart_mode: str = "file") -> Dict[str, Any]:
     """Fig. 7: one migration cycle vs full CR to ext3 and to PVFS."""
     results: Dict[str, Any] = {}
     deltas: Dict[str, Any] = {}
     blames: Dict[str, Any] = {}
     dominants: Dict[str, Any] = {}
     for app in ("LU.C", "BT.C"):
-        report, tracer = _traced_migration(app)
+        report, tracer = _traced_migration(app, restart_mode=restart_mode)
         row: Dict[str, Any] = {
             "migration": {k: round(v, 6)
                           for k, v in migration_cycle_breakdown(report).items()}}
@@ -182,14 +185,14 @@ def bench_fig7() -> Dict[str, Any]:
             "dominant": dominants}
 
 
-def bench_table1() -> Dict[str, Any]:
+def bench_table1(restart_mode: str = "file") -> Dict[str, Any]:
     """Table I: MB moved by migration vs dumped by CR, per app (exact)."""
     results: Dict[str, Any] = {}
     deltas: Dict[str, Any] = {}
     blames: Dict[str, Any] = {}
     dominants: Dict[str, Any] = {}
     for app in ("LU.C", "BT.C", "SP.C"):
-        report, tracer = _traced_migration(app)
+        report, tracer = _traced_migration(app, restart_mode=restart_mode)
         ckpt, _ = _cr_cycle(app, "ext3")
         mig_mb = report.bytes_migrated / 1e6
         cr_mb = ckpt.bytes_written / 1e6
@@ -206,22 +209,53 @@ def bench_table1() -> Dict[str, Any]:
             "dominant": dominants}
 
 
-BENCHES: Dict[str, Callable[[], Dict[str, Any]]] = {
+def bench_pipeline(restart_mode: str = "file") -> Dict[str, Any]:
+    """File-barrier vs pipelined memory restart on the Fig. 4 workload.
+
+    Runs the same LU.C.64 migration twice — once with the Phase-3 file
+    barrier (write every image, then restart) and once with the memory
+    sink (restart each rank as soon as its image reassembles) — and
+    reports the per-mode phase breakdown plus the memory-mode speedup.
+    The ``restart_mode`` argument is ignored: this bench always runs
+    both modes, that comparison *is* the measurement.
+    """
+    del restart_mode
+    results: Dict[str, Any] = {}
+    blames: Dict[str, Any] = {}
+    dominants: Dict[str, Any] = {}
+    totals: Dict[str, float] = {}
+    for mode in ("file", "memory"):
+        report, tracer = _traced_migration("LU.C", restart_mode=mode)
+        results[mode] = {k: round(v, 6)
+                         for k, v in migration_phase_breakdown(report).items()}
+        totals[mode] = report.total_seconds
+        blames[mode], dominants[mode] = _blame(tracer)
+    results["memory_speedup"] = round(
+        speedup(totals["file"], totals["memory"]), 4)
+    return {"title": "Pipelined restart — file barrier vs memory sink "
+                     "(LU.C, 64 ranks)",
+            "results": results, "critical_path": blames,
+            "dominant": dominants}
+
+
+BENCHES: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig4": bench_fig4,
     "fig6": bench_fig6,
     "fig7": bench_fig7,
     "table1": bench_table1,
+    "pipeline": bench_pipeline,
 }
 
 
 # -- artifacts and baselines -------------------------------------------------
 
-def run_bench(name: str) -> Dict[str, Any]:
+def run_bench(name: str, restart_mode: str = "file") -> Dict[str, Any]:
     """Run one bench; returns the full artifact dict (not yet written)."""
     fn = BENCHES[name]
     t0 = time.perf_counter()
-    body = fn()
-    artifact = {"schema_version": BENCH_SCHEMA_VERSION, "name": name}
+    body = fn(restart_mode=restart_mode)
+    artifact = {"schema_version": BENCH_SCHEMA_VERSION, "name": name,
+                "restart_mode": restart_mode}
     artifact.update(body)
     artifact["wall_seconds"] = round(time.perf_counter() - t0, 3)
     return artifact
@@ -278,11 +312,15 @@ def compare_to_baselines(measured: Dict[str, Dict[str, float]],
 def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
                 baselines_path: Optional[str] = None,
                 update_baselines: bool = False,
-                tolerance: Optional[float] = None
+                tolerance: Optional[float] = None,
+                restart_mode: str = "file"
                 ) -> Tuple[List[str], List[str], str]:
     """Run benches, write ``BENCH_<name>.json``, diff against baselines.
 
     Returns ``(artifact paths, regression messages, summary text)``.
+    A ``restart_mode`` other than ``"file"`` changes what the migration
+    benches measure, so their artifacts are written but the baselines
+    diff (calibrated for file mode) is skipped with a note.
     """
     names = list(names) if names else list(BENCHES)
     unknown = [n for n in names if n not in BENCHES]
@@ -296,7 +334,7 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
     measured: Dict[str, Dict[str, float]] = {}
     lines: List[str] = []
     for name in names:
-        artifact = run_bench(name)
+        artifact = run_bench(name, restart_mode=restart_mode)
         path = os.path.join(out_dir, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True, default=str)
@@ -307,7 +345,10 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
                      f"{artifact['wall_seconds']:.1f}s wall)")
 
     regressions: List[str] = []
-    if update_baselines:
+    if restart_mode != "file" and not update_baselines:
+        lines.append(f"restart_mode={restart_mode}: baselines diff skipped "
+                     f"(baselines are calibrated for file mode)")
+    elif update_baselines:
         benches: Dict[str, Any] = {}
         if os.path.exists(baselines_path):
             with open(baselines_path, "r", encoding="utf-8") as fh:

@@ -24,6 +24,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.blcr`     — checkpoint images, engines, restart;
 * :mod:`repro.ftb`      — the CIFTS Fault Tolerance Backplane;
 * :mod:`repro.launch`   — Job Manager, NLAs, spawn tree;
+* :mod:`repro.pipeline` — staged Phase-2/3 data path (sinks, transports);
 * :mod:`repro.core`     — the migration framework itself + baselines;
 * :mod:`repro.workloads`— NPB LU/BT/SP skeletons;
 * :mod:`repro.sched`    — batch scheduler (cluster-throughput study);
@@ -45,6 +46,7 @@ from .core import (
     RDMAMigrationSession,
     RestartReport,
 )
+from .pipeline import MigrationPipeline
 from .workloads import NPBApplication
 
 __version__ = "1.0.0"
@@ -54,6 +56,7 @@ __all__ = [
     "JobMigrationFramework",
     "MigrationTrigger",
     "MigrationError",
+    "MigrationPipeline",
     "RDMAMigrationSession",
     "CheckpointRestartStrategy",
     "LiveMigrationStrategy",

@@ -329,7 +329,8 @@ def critical_path(dag_or_trace, root: Optional[str] = None) -> CriticalPath:
 
 
 def dominant_component(cp: CriticalPath,
-                       skip: Iterable[str] = ("migration", "cr.cycle")
+                       skip: Iterable[str] = ("migration", "cr.cycle",
+                                              "pipeline.run")
                        ) -> Tuple[str, float]:
     """(component, seconds): the largest non-orchestration contributor.
 

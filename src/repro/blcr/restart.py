@@ -114,12 +114,29 @@ class RestartEngine:
 
     def restart_from_memory(self, image: CheckpointImage) -> Generator:
         """Generator: restore directly from a resident image (future work
-        Sec. VI): address-space rebuild at memcpy speed, no file I/O."""
+        Sec. VI): address-space rebuild at memcpy speed, no file I/O.
+
+        The same truncation check file restart performs against the file
+        size runs here against the resident payload — a short image means
+        reassembly lost bytes, and restarting from it would fork a
+        corrupt address space.
+        """
+        if image is None:
+            raise RestartError(
+                f"no resident image to restart from on {self.node_name}")
         with self.sim.tracer.span("blcr.restart", mode="memory",
                                   proc=image.proc_name,
                                   node=self.node_name) as sp:
+            if image.payload is not None \
+                    and len(image.payload) != image.nbytes:
+                raise RestartError(
+                    f"resident image of {image.proc_name!r} truncated: "
+                    f"{len(image.payload)} bytes, header says "
+                    f"{image.nbytes}")
             yield self.sim.timeout(self.params.restart_proc_overhead)
             yield self.sim.timeout(
                 image.nbytes / self.params.memory_restart_bandwidth)
             sp.annotate(nbytes=image.nbytes)
+            self.sim.metrics.counter("blcr.restart.bytes_memory",
+                                     unit="bytes").inc(image.nbytes)
         return image.materialize(self.node_name)

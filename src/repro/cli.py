@@ -69,10 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["rdma", "ipoib", "tcp", "staging"])
     mig.add_argument("--restart-mode", default="file",
                      choices=["file", "memory"])
+    mig.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="also export the run's trace as JSONL (feed to "
+                          "`repro sanitize --from-jsonl`)")
 
     cmp_ = sub.add_parser("compare",
                           help="migration vs CR(ext3) vs CR(PVFS) (Fig. 7)")
     common(cmp_)
+    cmp_.add_argument("--restart-mode", default="file",
+                      choices=["file", "memory"],
+                      help="migration restart path: file barrier or "
+                           "pipelined memory restart")
 
     scale = sub.add_parser("scale", help="ranks/node sweep (Fig. 6)")
     scale.add_argument("--ppn", type=int, nargs="+", default=[1, 2, 4, 8])
@@ -132,13 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "of diffing")
     bench.add_argument("--tolerance", type=float, default=None,
                        help="relative tolerance override")
+    bench.add_argument("--restart-mode", default="file",
+                       choices=["file", "memory"],
+                       help="restart path for the migration benches; "
+                            "non-file runs skip the baselines diff")
 
     san = sub.add_parser(
         "sanitize",
         help="run the protocol sanitizer over a bench scenario (or an "
              "exported trace.jsonl); non-zero exit on any violation")
     san.add_argument("--scenario", default="fig4",
-                     choices=["fig4", "fig6", "fig7"],
+                     choices=["fig4", "fig6", "fig7", "pipeline"],
                      help="bench scenario to replay under the checker")
     san.add_argument("--from-jsonl", default=None, metavar="PATH",
                      help="check an exported trace.jsonl instead of "
@@ -169,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_file_error(path: str) -> Optional[str]:
+    """One-line error for a missing or empty ``--from-jsonl`` file."""
+    if not os.path.exists(path):
+        return f"error: trace file not found: {path}"
+    if os.path.getsize(path) == 0:
+        return f"error: trace file is empty: {path}"
+    return None
+
+
 def _cmd_migrate(args) -> str:
     tracer = Tracer()
     sc = Scenario.build(app=args.app, nprocs=args.nprocs,
@@ -183,13 +203,16 @@ def _cmd_migrate(args) -> str:
     lines.append(render_timeline(extract_phases(tracer), title="phase timeline"))
     lines.append(f"data migrated: {report.bytes_migrated / 1e6:.1f} MB in "
                  f"{report.chunks_transferred} chunks")
+    if args.trace_out:
+        n_rows = write_jsonl(tracer, args.trace_out)
+        lines.append(f"wrote {args.trace_out} ({n_rows} records)")
     return "\n".join(lines)
 
 
 def _cmd_compare(args) -> str:
     mig_sc = Scenario.build(app=args.app, nprocs=args.nprocs,
                             n_compute=args.nodes, n_spare=1, iterations=40,
-                            seed=args.seed)
+                            seed=args.seed, restart_mode=args.restart_mode)
     source = f"node{args.nodes - 1}"
     migration = mig_sc.run_migration(source, at=5.0)
     rows = {"Migration": migration_cycle_breakdown(migration)}
@@ -207,8 +230,9 @@ def _cmd_compare(args) -> str:
 
         ckpt, restart = sc.sim.run(until=sc.sim.spawn(drive(sc.sim)))
         rows[f"CR({dest})"] = cr_cycle_breakdown(ckpt, restart)
-    out = [render_table(f"Failure handling, {args.app}.{args.nprocs} (Fig. 7)",
-                        rows)]
+    out = [render_table(
+        f"Failure handling, {args.app}.{args.nprocs}, "
+        f"restart={args.restart_mode} (Fig. 7)", rows)]
     for dest in ("ext3", "pvfs"):
         s = speedup(rows[f"CR({dest})"]["Total"], migration.total_seconds)
         out.append(f"speedup over CR({dest}): {s:.2f}x")
@@ -278,9 +302,12 @@ def _cmd_observe(args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_critical_path(args) -> str:
+def _cmd_critical_path(args):
     """Causal profile of one migration: waterfall + blame + dominant."""
     if args.from_jsonl:
+        err = _trace_file_error(args.from_jsonl)
+        if err is not None:
+            return err, 2
         tracer = read_jsonl(args.from_jsonl)
         header = f"Critical path of {args.from_jsonl}"
     else:
@@ -318,7 +345,8 @@ def _cmd_bench(args):
         names=args.only, out_dir=args.out_dir,
         baselines_path=args.baselines,
         update_baselines=args.update_baselines,
-        tolerance=args.tolerance)
+        tolerance=args.tolerance,
+        restart_mode=args.restart_mode)
     return text, (1 if regressions else 0)
 
 
@@ -335,6 +363,9 @@ def _cmd_sanitize(args):
         return (f"unknown fault {args.inject!r}; choose from "
                 f"{sorted(FAULTS)}"), 2
     if args.from_jsonl:
+        err = _trace_file_error(args.from_jsonl)
+        if err is not None:
+            return err, 2
         result = check_jsonl(args.from_jsonl)
     else:
         result = sanitize_scenario(args.scenario, seed=args.seed,

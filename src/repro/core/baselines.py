@@ -21,8 +21,9 @@ from typing import Dict, Generator, Optional
 import numpy as np
 
 from ..params import MigrationParams
+from ..pipeline.stages import FileReassemblySink, ReassemblySink
 from ..simulate.core import Event, Simulator
-from ..simulate.resources import Resource
+from ..simulate.resources import Resource, Store
 from ..network.ipoib import IPoIBFabric
 from ..blcr.image import CheckpointImage
 from ..cluster.node import Cluster, Node
@@ -36,7 +37,8 @@ class _BaselineSession:
 
     def __init__(self, sim: Simulator, cluster: Cluster, source: Node,
                  target: Node, params: Optional[MigrationParams],
-                 tmp_prefix: str = "/tmp/migrate"):
+                 tmp_prefix: str = "/tmp/migrate",
+                 target_sink: Optional[ReassemblySink] = None):
         self.sim = sim
         self.cluster = cluster
         self.source = source
@@ -46,11 +48,22 @@ class _BaselineSession:
         self.expected_procs = 0
         self._finals_seen = 0
         self.done: Event = Event(sim, name="baseline-transfer-done")
-        self.images: Dict[str, CheckpointImage] = {}
-        self.paths: Dict[str, str] = {}
+        self.target_sink: ReassemblySink = target_sink or FileReassemblySink(
+            sim, target.fs, tmp_prefix=tmp_prefix)
+        #: Per-process completion stream (see buffer_manager).
+        self.completions: Store = Store(sim)
+        #: Source-side staging handles only; target files belong to the sink.
         self._handles: Dict[str, object] = {}
         self.bytes_pulled = 0.0
         self.chunks_pulled = 0
+
+    @property
+    def images(self) -> Dict[str, CheckpointImage]:
+        return self.target_sink.images
+
+    @property
+    def paths(self) -> Dict[str, str]:
+        return self.target_sink.paths
 
     def setup(self, expected_procs: int) -> Generator:
         if expected_procs < 1:
@@ -64,10 +77,7 @@ class _BaselineSession:
     def teardown(self) -> None:
         pass
 
-    # -- target-side reassembly helpers -----------------------------------------
-    def _tmp_path(self, proc_name: str) -> str:
-        return f"{self.tmp_prefix}/{proc_name}.ckpt"
-
+    # -- source-side staging helpers --------------------------------------------
     def _get_or_create(self, key: str, fs, path: str) -> Generator:
         """Race-free get-or-create of a file handle (see buffer_manager)."""
         entry = self._handles.get(key)
@@ -85,22 +95,17 @@ class _BaselineSession:
 
     def _write_target(self, proc_name: str, offset: int, nbytes: int,
                       data: Optional[np.ndarray]) -> Generator:
-        handle = yield from self._get_or_create(proc_name, self.target.fs,
-                                                self._tmp_path(proc_name))
-        yield from self.target.fs.write(handle, nbytes, data=data,
-                                        through_cache=True, offset=offset)
+        yield from self.target_sink.write(proc_name, offset, nbytes, data)
         self.bytes_pulled += nbytes
         self.chunks_pulled += 1
 
     def _finish(self, image: CheckpointImage) -> Generator:
-        handle = yield from self._get_or_create(
-            image.proc_name, self.target.fs, self._tmp_path(image.proc_name))
-        yield from self.target.fs.close(handle)
-        self.paths[image.proc_name] = self._tmp_path(image.proc_name)
-        self.images[image.proc_name] = CheckpointImage(
-            image.proc_name, image.origin_node, image.layout,
-            image.app_state, payload=None)
+        meta = CheckpointImage(image.proc_name, image.origin_node,
+                               image.layout, image.app_state, payload=None)
+        yield from self.target_sink.finish(image.proc_name, meta,
+                                           image.nbytes)
         self._finals_seen += 1
+        self.completions.put(image.proc_name)
         if self._finals_seen == self.expected_procs:
             self.done.succeed()
 
@@ -187,11 +192,12 @@ _BASELINES = {
 
 def make_baseline_session(name: str, sim: Simulator, cluster: Cluster,
                           source: Node, target: Node,
-                          params: Optional[MigrationParams]):
+                          params: Optional[MigrationParams],
+                          target_sink: Optional[ReassemblySink] = None):
     try:
         cls = _BASELINES[name]
     except KeyError:
         raise ValueError(
             f"unknown transport {name!r}; choose rdma|{'|'.join(_BASELINES)}"
         ) from None
-    return cls(sim, cluster, source, target, params)
+    return cls(sim, cluster, source, target, params, target_sink=target_sink)

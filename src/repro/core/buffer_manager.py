@@ -31,6 +31,7 @@ from typing import Dict, Generator, List, Optional
 import numpy as np
 
 from ..params import MigrationParams
+from ..pipeline.stages import FileReassemblySink, ReassemblySink
 from ..simulate.core import Event, Process, Simulator
 from ..simulate.resources import Store
 from ..network.fluid import Link
@@ -120,7 +121,8 @@ class RDMAMigrationSession:
 
     def __init__(self, sim: Simulator, cluster: Cluster, source: Node,
                  target: Node, params: Optional[MigrationParams] = None,
-                 tmp_prefix: str = "/tmp/migrate"):
+                 tmp_prefix: str = "/tmp/migrate",
+                 target_sink: Optional[ReassemblySink] = None):
         self.sim = sim
         self.cluster = cluster
         self.source = source
@@ -145,10 +147,14 @@ class RDMAMigrationSession:
         self.expected_procs = 0
         self._finals_seen = 0
         self.done: Event = Event(sim, name="migration-transfer-done")
-        #: Reassembled outputs at the target.
-        self.images: Dict[str, CheckpointImage] = {}
-        self.paths: Dict[str, str] = {}
-        self._handles: Dict[str, object] = {}
+        #: Where reassembled bytes land at the target (file sink = the
+        #: paper's temp checkpoint files; memory sink = resident images).
+        self.target_sink: ReassemblySink = target_sink or FileReassemblySink(
+            sim, target.fs, tmp_prefix=tmp_prefix)
+        #: Per-process completion stream: a proc's name is put here the
+        #: instant its image is sealed, so a pipelined restart stage can
+        #: start it without waiting for ``done``.
+        self.completions: Store = Store(sim)
         self._received: Dict[str, int] = {}
         #: Finalize totals and completion events, keyed by process name:
         #: ``_pull_chunk`` signals the event once every byte has landed, so
@@ -257,26 +263,14 @@ class RDMAMigrationSession:
             raise RuntimeError(
                 f"migration pumps leaked after teardown: {stuck}")
 
-    def _target_handle(self, proc_name: str) -> Generator:
-        """Get-or-create the proc's temp-file handle exactly once.
+    # -- reassembled outputs (delegated to the sink stage) -----------------------
+    @property
+    def images(self) -> Dict[str, CheckpointImage]:
+        return self.target_sink.images
 
-        Concurrent chunk pulls for one process race to create its file; the
-        first caller parks an Event in the table so the others wait for the
-        same handle instead of double-creating.
-        """
-        entry = self._handles.get(proc_name)
-        if isinstance(entry, Event):
-            yield entry
-            entry = self._handles[proc_name]
-        if entry is not None:
-            return entry
-        gate = Event(self.sim, name=f"create.{proc_name}")
-        self._handles[proc_name] = gate
-        handle = yield from self.target.fs.create(
-            f"{self.tmp_prefix}/{proc_name}.ckpt")
-        self._handles[proc_name] = handle
-        gate.succeed()
-        return handle
+    @property
+    def paths(self) -> Dict[str, str]:
+        return self.target_sink.paths
 
     # -- target side ------------------------------------------------------------
     def _target_pump(self) -> Generator:
@@ -316,12 +310,11 @@ class RDMAMigrationSession:
             if self.dst_pool is not None:
                 data = self.dst_pool[desc.pool_offset:
                                      desc.pool_offset + desc.nbytes].copy()
-            # Reassemble: concatenate into the proper position of the proc's
-            # temporary checkpoint file (through the page cache: no fsync).
-            handle = yield from self._target_handle(desc.proc_name)
-            yield from self.target.fs.write(handle, desc.nbytes, data=data,
-                                            through_cache=True,
-                                            offset=desc.stream_offset)
+            # Reassemble: hand the chunk to the sink stage, keyed exactly
+            # as in the paper — (process, stream offset, size).
+            yield from self.target_sink.write(desc.proc_name,
+                                              desc.stream_offset,
+                                              desc.nbytes, data)
             sp.annotate(nbytes=desc.nbytes)
         self.bytes_pulled += desc.nbytes
         self.chunks_pulled += 1
@@ -352,13 +345,9 @@ class RDMAMigrationSession:
                 self._expected_total[desc.proc_name] = expected
                 self._all_received[desc.proc_name] = gate
                 yield gate
-            handle = yield from self._target_handle(desc.proc_name)
-            yield from self.target.fs.close(handle)
+            yield from self.target_sink.finish(desc.proc_name,
+                                               desc.image_meta, expected)
             rsp.annotate(nbytes=self._received.get(desc.proc_name, 0))
-        path = f"{self.tmp_prefix}/{desc.proc_name}.ckpt"
-        self.paths[desc.proc_name] = path
-        meta = desc.image_meta
-        self.images[desc.proc_name] = meta
         self._finals_seen += 1
         trace = self.sim.trace
         if trace is not None:
@@ -368,6 +357,7 @@ class RDMAMigrationSession:
             trace.record(self.sim.now, "pool.proc.complete",
                          proc=desc.proc_name, node=self.target.name,
                          nbytes=self._received.get(desc.proc_name, 0))
+        self.completions.put(desc.proc_name)
         if self._finals_seen == self.expected_procs:
             self.done.succeed()
 

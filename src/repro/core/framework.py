@@ -18,9 +18,10 @@ from collections import deque
 from typing import Generator, List, Optional
 
 from ..params import MigrationParams
+from ..pipeline.pipeline import MigrationPipeline
 from ..simulate.core import Simulator
 from ..simulate.resources import Resource, Store
-from ..cluster.node import Cluster, Node, NodeState
+from ..cluster.node import Cluster, NodeState
 from ..ftb.agent import FTBBackplane
 from ..ftb.client import FTBClient
 from ..ftb.events import (
@@ -32,8 +33,6 @@ from ..ftb.events import (
 from ..launch.job_manager import JobManager
 from ..mpi.job import MPIJob
 from ..mpi.rank import MPIRank
-from ..blcr.checkpoint import CheckpointEngine
-from .buffer_manager import RDMAMigrationSession
 from .protocol import MigrationPhase, MigrationReport
 
 __all__ = ["JobMigrationFramework", "MigrationError"]
@@ -196,34 +195,33 @@ class JobMigrationFramework:
             t1 = self.sim.now
             report.phase_seconds[MigrationPhase.STALL] = t1 - t0
 
-            # ---- Phase 2: Job Migration ------------------------------------
+            # ---- Phase 2+3: the staged pipeline ----------------------------
+            # The pipeline owns the Phase-2/3 data path: checkpoint source,
+            # transport, reassembly sink and restart stage.  Its
+            # ``pipeline.run`` span parents both phase spans; with the
+            # memory sink, restarts begin inside Phase 2 as images complete.
+            target_nla = self.jm.nla(target)
+            pipeline = MigrationPipeline(self.sim, self.cluster,
+                                         transport=self.transport,
+                                         restart_mode=self.restart_mode,
+                                         params=self.params)
+            pipeline.open(source_node, target_node,
+                          expected_procs=len(victims),
+                          target_nla=target_nla)
             with trace.span("phase",
                             phase=MigrationPhase.MIGRATION.value) as p2:
-                session = self._make_session(source_node, target_node)
-                yield from session.setup(expected_procs=len(victims))
-                engine = CheckpointEngine(self.sim, source,
-                                          params=self.cluster.testbed.blcr,
-                                          net=self.cluster.net)
-                sink = session.sink()
-                workers = [
-                    self.sim.spawn(
-                        engine.checkpoint(rank.osproc, sink,
-                                          chunk_bytes=self.params.chunk_size),
-                        name=f"ckpt.r{rank.rank}")
-                    for rank in victims
-                ]
-                yield self.sim.all_of(workers)
-                yield session.done  # every chunk reassembled at the target
+                yield from pipeline.start()
+                yield from pipeline.transfer([r.osproc for r in victims])
                 # Source NLA announces process-images-in-place, goes inactive.
                 source_nla = self.jm.nla(source)
                 yield from source_nla.ftb.publish(
                     FTB_MIGRATE_PIIC, {"source": source, "target": target})
                 source_nla.to_inactive()
-                p2.annotate(bytes=session.bytes_pulled)
+                p2.annotate(bytes=pipeline.bytes_pulled)
             t2 = self.sim.now
             report.phase_seconds[MigrationPhase.MIGRATION] = t2 - t1
-            report.bytes_migrated = session.bytes_pulled
-            report.chunks_transferred = session.chunks_pulled
+            report.bytes_migrated = pipeline.bytes_pulled
+            report.chunks_transferred = pipeline.chunks_pulled
 
             # ---- Phase 3: Restart on the spare -----------------------------
             with trace.span("phase", phase=MigrationPhase.RESTART.value):
@@ -231,15 +229,10 @@ class JobMigrationFramework:
                 yield from self.jm.ftb.publish(
                     FTB_RESTART, {"target": target,
                                   "ranks": [r.rank for r in victims]})
-                target_nla = self.jm.nla(target)
-                restarted = yield from target_nla.restart_processes(
-                    session.images, session.paths, mode=self.restart_mode,
-                    flow_from=getattr(session, "reassembly_spans",
-                                      {}).values())
+                restarted = yield from pipeline.restart(target_nla)
                 for rank in victims:
                     rank.relocate(target_node)
                     rank.osproc = restarted[rank.osproc.name]
-                session.teardown()
                 if target_node in self.cluster.spares:
                     self.cluster.promote_spare(target_node)
                 if reason != "user":
@@ -255,6 +248,9 @@ class JobMigrationFramework:
                     from ..launch.nla import NLAState
 
                     source_nla.state = NLAState.MIGRATION_SPARE
+            # Close outside the phase span: ``pipeline.run`` sits below the
+            # phase spans on the span stack.
+            pipeline.close()
             t3 = self.sim.now
             report.phase_seconds[MigrationPhase.RESTART] = t3 - t2
 
@@ -267,12 +263,3 @@ class JobMigrationFramework:
 
         self.reports.append(report)
         return report
-
-    def _make_session(self, source: Node, target: Node):
-        if self.transport == "rdma":
-            return RDMAMigrationSession(self.sim, self.cluster, source,
-                                        target, params=self.params)
-        from .baselines import make_baseline_session
-
-        return make_baseline_session(self.transport, self.sim, self.cluster,
-                                     source, target, self.params)

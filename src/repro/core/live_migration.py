@@ -141,10 +141,10 @@ class LiveMigrationStrategy:
             if to_send > 0:
                 yield self._transfer(source_node, target_node, to_send, pipe)
             # State is resident at the target: memory-based restore.
-            from ..blcr.restart import RestartEngine
+            from ..pipeline.registry import make_restart_engine
 
-            engine = RestartEngine(self.sim, target,
-                                   params=self.cluster.testbed.blcr)
+            engine = make_restart_engine(self.sim, target,
+                                         params=self.cluster.testbed.blcr)
             from ..blcr.image import CheckpointImage
 
             workers = []

@@ -15,9 +15,10 @@ from enum import Enum
 from typing import Dict, Generator, Iterable, Optional
 
 from ..params import LaunchParams
+from ..pipeline.registry import make_restart_engine
+from ..pipeline.stages import RestartSetMismatch
 from ..simulate.core import Simulator
 from ..blcr.image import CheckpointImage
-from ..blcr.restart import RestartEngine
 from ..cluster.node import Node
 from ..ftb.client import FTBClient
 
@@ -41,7 +42,7 @@ class NodeLaunchAgent:
         self.ftb = ftb_client
         self.params = params or LaunchParams()
         self.state = NLAState.MIGRATION_SPARE if spare else NLAState.MIGRATION_READY
-        self.restart_engine = RestartEngine(sim, node.name)
+        self.restart_engine = make_restart_engine(sim, node.name)
 
     # -- state machine ---------------------------------------------------------
     def to_ready(self) -> None:
@@ -56,10 +57,33 @@ class NodeLaunchAgent:
         launcher does)."""
         yield self.sim.timeout(n * self.params.proc_launch_cost)
 
+    def _check_restartable(self, mode: str) -> None:
+        if self.state is not NLAState.MIGRATION_SPARE \
+                and self.state is not NLAState.MIGRATION_READY:
+            raise RuntimeError(f"NLA on {self.node.name} cannot restart in "
+                               f"state {self.state.name}")
+        if mode not in ("file", "memory"):
+            raise ValueError(f"unknown restart mode {mode!r}")
+
+    def restart_one(self, name: str, image: CheckpointImage,
+                    path: Optional[str] = None,
+                    mode: str = "file") -> Generator:
+        """Generator: restart a single migrated process (the pipelined
+        path — the caller owns completion tracking and the state flip to
+        ``MIGRATION_READY`` once the whole set is back)."""
+        self._check_restartable(mode)
+        if mode == "memory":
+            proc = yield from self.restart_engine.restart_from_memory(image)
+        else:
+            proc = yield from self.restart_engine.restart_from_file(
+                self.node.fs, path, metadata=image)
+        return proc
+
     def restart_processes(self, images: Dict[str, CheckpointImage],
                           paths: Dict[str, str],
                           mode: str = "file",
-                          flow_from: Optional[Iterable[int]] = None
+                          flow_from: Optional[Iterable[int]] = None,
+                          expected_procs: Optional[int] = None
                           ) -> Generator:
         """Generator: restart migrated processes from reassembled images.
 
@@ -69,24 +93,30 @@ class NodeLaunchAgent:
         Returns ``{proc_name: OSProcess}``.  All restarts run concurrently
         and contend on the local disk's read link.
 
-        ``flow_from`` carries span ids of the operations that produced the
-        images (reassembly writes); each is linked to the ``nla.restart``
-        span so the trace shows image-complete -> restart-start causality.
+        ``expected_procs`` is the number of processes the migration moved;
+        a mismatched image set raises :class:`RestartSetMismatch` instead
+        of silently restarting fewer ranks.  ``flow_from`` carries span
+        ids of the operations that produced the images (reassembly
+        writes); each is linked to the ``nla.restart`` span so the trace
+        shows image-complete -> restart-start causality.
         """
-        if self.state is not NLAState.MIGRATION_SPARE \
-                and self.state is not NLAState.MIGRATION_READY:
-            raise RuntimeError(f"NLA on {self.node.name} cannot restart in "
-                               f"state {self.state.name}")
-        if mode not in ("file", "memory"):
-            raise ValueError(f"unknown restart mode {mode!r}")
+        self._check_restartable(mode)
+        if expected_procs is None:
+            expected_procs = len(images)
+        if len(images) != expected_procs:
+            raise RestartSetMismatch(
+                f"NLA on {self.node.name} handed {len(images)} images but "
+                f"{expected_procs} processes were migrated")
+        if mode == "file":
+            missing = sorted(set(images) - set(paths))
+            if missing:
+                raise RestartSetMismatch(
+                    f"file-mode restart on {self.node.name} lacks checkpoint "
+                    f"paths for {missing}")
 
         def one(name: str) -> Generator:
-            image = images[name]
-            if mode == "memory":
-                proc = yield from self.restart_engine.restart_from_memory(image)
-            else:
-                proc = yield from self.restart_engine.restart_from_file(
-                    self.node.fs, paths[name], metadata=image)
+            proc = yield from self.restart_one(name, images[name],
+                                               paths.get(name), mode=mode)
             return (name, proc)
 
         with self.sim.tracer.span("nla.restart", node=self.node.name,

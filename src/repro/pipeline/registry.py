@@ -1,0 +1,72 @@
+"""Stage registry: the one place transports, sinks and restart engines
+are constructed.
+
+``repro lint`` flags direct construction of
+:class:`~repro.core.buffer_manager.RDMAMigrationSession` and
+:class:`~repro.blcr.restart.RestartEngine` outside this package and the
+``baselines`` module, so new code paths are forced through here — the
+pipeline stays the single composition point for the Phase-2/3 data path.
+
+Imports of the concrete classes are deliberately lazy (inside the
+factories): the registry sits *below* ``core`` in the import graph, and
+``core.buffer_manager`` itself imports the sink stages from this package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..params import BLCRParams, MigrationParams
+from ..simulate.core import Simulator
+from .stages import FileReassemblySink, MemoryReassemblySink, ReassemblySink
+
+__all__ = ["make_transport", "make_reassembly_sink", "make_restart_engine",
+           "transport_names", "sink_names"]
+
+_TRANSPORTS: Tuple[str, ...] = ("rdma", "tcp", "ipoib", "staging")
+_SINKS: Tuple[str, ...] = ("file", "memory")
+
+
+def transport_names() -> Tuple[str, ...]:
+    return _TRANSPORTS
+
+
+def sink_names() -> Tuple[str, ...]:
+    return _SINKS
+
+
+def make_reassembly_sink(kind: str, sim: Simulator, target,
+                         tmp_prefix: str = "/tmp/migrate") -> ReassemblySink:
+    """Build the target-side sink for ``kind`` (``file`` | ``memory``)."""
+    if kind == "file":
+        return FileReassemblySink(sim, target.fs, tmp_prefix=tmp_prefix)
+    if kind == "memory":
+        return MemoryReassemblySink(sim)
+    raise ValueError(
+        f"unknown restart sink {kind!r}; choose {'|'.join(_SINKS)}")
+
+
+def make_transport(name: str, sim: Simulator, cluster, source, target,
+                   params: Optional[MigrationParams],
+                   target_sink: Optional[ReassemblySink] = None):
+    """Build the Phase-2 transport session feeding ``target_sink``."""
+    if name == "rdma":
+        from ..core.buffer_manager import RDMAMigrationSession
+
+        return RDMAMigrationSession(sim, cluster, source, target,
+                                    params=params, target_sink=target_sink)
+    if name in _TRANSPORTS:
+        from ..core.baselines import make_baseline_session
+
+        return make_baseline_session(name, sim, cluster, source, target,
+                                     params, target_sink=target_sink)
+    raise ValueError(
+        f"unknown transport {name!r}; choose {'|'.join(_TRANSPORTS)}")
+
+
+def make_restart_engine(sim: Simulator, node_name: str,
+                        params: Optional[BLCRParams] = None):
+    """Build the per-node BLCR restart engine."""
+    from ..blcr.restart import RestartEngine
+
+    return RestartEngine(sim, node_name, params=params)

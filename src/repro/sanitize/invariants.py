@@ -21,6 +21,10 @@ verbs/FTB semantics underneath it:
   pool slot holds one chunk at a time;
 * a stalled rank is silent: between its ``rank.stall`` end and its
   ``rank.resume`` start no MPI message may leave or reach it;
+* pipeline stages respect causality — checkpoint before image-ready,
+  image-ready before restart — and every restart inside a pipeline run
+  uses the run's declared sink (a memory-sink run never touches temp
+  checkpoint files);
 * spans are well-formed (every ``.start`` closed, ids unique, flow-edge
   endpoints resolve) and every record matches ``TRACE_SCHEMA``.
 
@@ -41,7 +45,8 @@ from ..simulate.trace import TraceRecord
 __all__ = ["Violation", "Rule", "default_rules",
            "PhaseOrderRule", "QPLifecycleRule", "RkeyRule",
            "ChunkLifecycleRule", "StallSilenceRule", "SpanRule",
-           "SchemaRule", "SessionRule"]
+           "SchemaRule", "SessionRule", "PipelineStageOrderRule",
+           "SinkExclusivityRule"]
 
 
 @dataclass(frozen=True)
@@ -114,20 +119,28 @@ class PhaseOrderRule(Rule):
 
     Phases are grouped by their parent ``migration`` span, so two
     overlapping migrations (which the framework's op-lock forbids anyway)
-    would each be checked against their own sequence.  CR baseline runs
-    emit no ``phase`` spans and are untouched by this rule.
+    would each be checked against their own sequence.  The MIGRATION and
+    RESTART phases are parented by the ``pipeline.run`` span the framework
+    opens between them and the migration span; phase parents resolve
+    through that indirection.  CR baseline runs emit no ``phase`` spans
+    and are untouched by this rule.
     """
 
     def __init__(self) -> None:
         super().__init__()
         self._phases_seen: Dict[Any, List[str]] = {}
         self._migration_open: Set[Any] = set()
+        self._pipeline_owner: Dict[Any, Any] = {}
         self._piic_published = 0
         self._restart_published = 0
 
     def feed(self, rec: TraceRecord) -> None:
         if rec.kind == "migration.start":
             self._migration_open.add(rec.get("span"))
+        elif rec.kind == "pipeline.run.start":
+            # A pipeline run parents the phases it drives; attribute them
+            # to the migration span that owns the run.
+            self._pipeline_owner[rec.get("span")] = rec.get("parent")
         elif rec.kind == "migration.end":
             key = rec.get("span")
             self._migration_open.discard(key)
@@ -138,6 +151,7 @@ class PhaseOrderRule(Rule):
                     f"the protocol requires {list(_PHASE_SEQUENCE)!r}", rec)
         elif rec.kind == "phase.start":
             key = rec.get("parent")
+            key = self._pipeline_owner.get(key, key)
             phase = rec.get("phase")
             seen = self._phases_seen.setdefault(key, [])
             expected_idx = len(seen)
@@ -166,6 +180,124 @@ class PhaseOrderRule(Rule):
         for key in sorted(self._migration_open, key=repr):
             self.report(f"migration span {key} never closed",
                         time=float("nan"))
+
+
+# ---------------------------------------------------------------------------
+# pipeline layer
+# ---------------------------------------------------------------------------
+
+class PipelineStageOrderRule(Rule):
+    """Pipeline stages respect per-process causality: an image becomes
+    ready only after its checkpoint started, each process becomes ready
+    exactly once per run, a pipelined restart begins only after its
+    process's readiness, and a run closes with every expected process
+    ready.
+
+    The expected process count rides on the ``session.setup`` record of
+    the transport the run drives (matched by its ``(source, target)``
+    pair).  Runs are tracked by target node — the framework's op-lock
+    serializes migrations, so at most one run is open per target.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: target node -> state of the open run on it
+        self._runs: Dict[Any, Dict[str, Any]] = {}
+        self._ckpt_started: Set[Any] = set()
+
+    def feed(self, rec: TraceRecord) -> None:
+        if rec.kind == "pipeline.run.start":
+            self._runs[rec.get("target")] = {
+                "span": rec.get("span"), "source": rec.get("source"),
+                "ready": set(), "expected": None, "rec": rec}
+        elif rec.kind == "session.setup":
+            run = self._runs.get(rec.get("target"))
+            if run is not None and run["source"] == rec.get("source"):
+                run["expected"] = rec.get("expected_procs")
+        elif rec.kind == "blcr.checkpoint.start":
+            self._ckpt_started.add(rec.get("proc"))
+        elif rec.kind == "pipeline.proc.ready":
+            run = self._runs.get(rec.get("node"))
+            proc = rec.get("proc")
+            if run is None:
+                self.report(f"process {proc!r} reported ready on "
+                            f"{rec.get('node')} with no pipeline run open "
+                            f"there", rec)
+                return
+            if proc not in self._ckpt_started:
+                self.report(f"process {proc!r} ready before its checkpoint "
+                            f"ever started — bytes cannot precede their "
+                            f"source stage", rec)
+            if proc in run["ready"]:
+                self.report(f"process {proc!r} reported ready twice in "
+                            f"pipeline run {run['span']}", rec)
+            run["ready"].add(proc)
+        elif rec.kind == "pipeline.restart.start":
+            run = self._runs.get(rec.get("node"))
+            proc = rec.get("proc")
+            if run is not None and proc not in run["ready"]:
+                self.report(f"pipelined restart of {proc!r} began before "
+                            f"its image was ready", rec)
+        elif rec.kind == "pipeline.run.end":
+            for target, run in list(self._runs.items()):
+                if run["span"] == rec.get("span"):
+                    expected = run["expected"]
+                    if expected is not None and len(run["ready"]) != expected:
+                        self.report(
+                            f"pipeline run {run['span']} closed with "
+                            f"{len(run['ready'])} of {expected} expected "
+                            f"processes ready", rec)
+                    del self._runs[target]
+
+    def finish(self) -> None:
+        for target, run in sorted(self._runs.items(), key=repr):
+            self.report(f"pipeline run {run['span']} on {target} never "
+                        f"closed", run["rec"], time=run["rec"].time)
+
+
+class SinkExclusivityRule(Rule):
+    """A pipeline run's restart path matches its sink: a memory-sink run
+    never touches temp checkpoint files on the target, and every restart
+    during a run uses the run's declared sink mode.
+
+    A ``blcr.restart``/``pipeline.restart`` whose mode contradicts the
+    open run's sink, or an ``fs.create`` of a ``/tmp/migrate`` file on
+    the target of a memory-sink run, means the file barrier the memory
+    sink exists to remove snuck back in.  Restarts outside any run (the
+    CR baseline, live migration's resident restore) are not this rule's
+    business.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: target node -> (run span, sink kind)
+        self._open: Dict[Any, Tuple[Any, Any]] = {}
+
+    def feed(self, rec: TraceRecord) -> None:
+        if rec.kind == "pipeline.run.start":
+            self._open[rec.get("target")] = (rec.get("span"),
+                                             rec.get("sink"))
+        elif rec.kind == "pipeline.run.end":
+            for target, (span, _sink) in list(self._open.items()):
+                if span == rec.get("span"):
+                    del self._open[target]
+        elif rec.kind in ("blcr.restart.start", "pipeline.restart.start"):
+            entry = self._open.get(rec.get("node"))
+            mode = rec.get("mode")
+            if entry is not None and mode in ("file", "memory") \
+                    and mode != entry[1]:
+                self.report(
+                    f"{rec.kind[:-len('.start')]} of {rec.get('proc')!r} "
+                    f"uses mode {mode!r} inside a pipeline run whose sink "
+                    f"is {entry[1]!r}", rec)
+        elif rec.kind == "fs.create":
+            entry = self._open.get(rec.get("node"))
+            if entry is not None and entry[1] == "memory" \
+                    and str(rec.get("path", "")).startswith("/tmp/migrate"):
+                self.report(
+                    f"memory-sink pipeline run {entry[0]} created temp "
+                    f"checkpoint file {rec.get('path')!r} on its target — "
+                    f"the file barrier is supposed to be gone", rec)
 
 
 # ---------------------------------------------------------------------------
@@ -501,6 +633,7 @@ class SessionRule(Rule):
 
 def default_rules() -> List[Rule]:
     """One fresh instance of every invariant, in reporting order."""
-    return [SchemaRule(), SpanRule(), PhaseOrderRule(), QPLifecycleRule(),
-            RkeyRule(), ChunkLifecycleRule(), StallSilenceRule(),
-            SessionRule()]
+    return [SchemaRule(), SpanRule(), PhaseOrderRule(),
+            PipelineStageOrderRule(), SinkExclusivityRule(),
+            QPLifecycleRule(), RkeyRule(), ChunkLifecycleRule(),
+            StallSilenceRule(), SessionRule()]

@@ -1,6 +1,6 @@
 """Static AST lint: cross-check emit sites against the schema registry.
 
-Four rules, all pure ``ast`` (no third-party dependencies):
+Five rules, all pure ``ast`` (no third-party dependencies):
 
 * ``unknown-kind`` — a literal ``record(t, "kind", ...)`` or
   ``span("name", ...)`` whose kind/base is not declared in
@@ -15,7 +15,12 @@ Four rules, all pure ``ast`` (no third-party dependencies):
   from ``sim.now`` and randomness from a seeded generator, or runs stop
   being reproducible;
 * ``unused-import`` — an imported name never referenced in the module
-  (``__init__.py`` re-export surfaces are exempt).
+  (``__init__.py`` re-export surfaces are exempt);
+* ``direct-construction`` — instantiating ``RDMAMigrationSession`` or
+  ``RestartEngine`` outside the ``pipeline`` package and the
+  ``baselines`` module; migration data-path components must be built
+  through the stage registry (``repro.pipeline.registry``) so the
+  pipeline remains the single composition point.
 
 :func:`lint_paths` additionally folds in
 :func:`repro.simulate.schema.validate_emitters` over every collected
@@ -47,6 +52,16 @@ _WALL_CLOCK_CALLS = {
 
 #: Functions of the global ``random`` module (unseeded process-global RNG).
 _RANDOM_MODULE = "random"
+
+#: Data-path classes that must be built via ``repro.pipeline.registry``.
+_REGISTRY_ONLY = {"RDMAMigrationSession", "RestartEngine"}
+
+
+def _registry_exempt(path: str) -> bool:
+    """Is ``path`` allowed to construct registry-only classes directly?"""
+    norm = path.replace(os.sep, "/")
+    return ("/pipeline/" in norm or norm.startswith("pipeline/")
+            or norm.endswith("/baselines.py") or norm == "baselines.py")
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,7 @@ class _EmitSiteVisitor(ast.NodeVisitor):
         self.path = path
         self.findings: List[Finding] = []
         self.emitted: List[str] = []
+        self._registry_exempt = _registry_exempt(path)
 
     # -- helpers ------------------------------------------------------------
     def _find(self, node: ast.AST, code: str, message: str) -> None:
@@ -145,6 +161,14 @@ class _EmitSiteVisitor(ast.NodeVisitor):
         elif attr == "link" and len(node.args) >= 3:
             # tracer.link(src, dst, kind) emits a flow.link record.
             self.emitted.append("flow.link")
+
+        callee = func.id if isinstance(func, ast.Name) else attr
+        if callee in _REGISTRY_ONLY and not self._registry_exempt:
+            self._find(node, "direct-construction",
+                       f"direct construction of {callee}; build it via "
+                       f"repro.pipeline.registry (make_transport / "
+                       f"make_restart_engine) so the staged pipeline stays "
+                       f"the single composition point")
 
         self._check_wall_clock(node)
         self.generic_visit(node)

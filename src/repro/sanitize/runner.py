@@ -74,10 +74,11 @@ def _checked_run(name: str, drive: Callable[[Scenario], None],
 
 
 def _migration_run(app: str, nprocs: int = 64, source: str = "node3",
-                   seed: int = 0):
+                   seed: int = 0, restart_mode: str = "file"):
     def build(tracer: Tracer) -> Scenario:
         return Scenario.build(app=app, nprocs=nprocs, n_compute=8, n_spare=1,
-                              iterations=40, seed=seed, trace=tracer)
+                              iterations=40, seed=seed, trace=tracer,
+                              restart_mode=restart_mode)
 
     def drive(sc: Scenario) -> None:
         sc.run_migration(source, at=5.0)
@@ -124,11 +125,19 @@ def _fig7_runs(seed: int) -> List[Tuple[str, tuple]]:
     return runs
 
 
+def _pipeline_runs(seed: int) -> List[Tuple[str, tuple]]:
+    """File-barrier vs pipelined memory restart on the fig4 workload."""
+    return [(f"pipeline/{mode}",
+             _migration_run("LU.C", seed=seed, restart_mode=mode))
+            for mode in ("file", "memory")]
+
+
 #: scenario name -> builder of [(run name, (build, drive))].
 SCENARIOS: Dict[str, Callable[[int], List[Tuple[str, tuple]]]] = {
     "fig4": _fig4_runs,
     "fig6": _fig6_runs,
     "fig7": _fig7_runs,
+    "pipeline": _pipeline_runs,
 }
 
 

@@ -68,6 +68,12 @@ SPAN_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                     "One rank re-establishing connections and resuming."),
     "ftb.deliver": ("ftb", ("node", "event", "client"),
                     "An agent delivering an event to a subscription."),
+    "pipeline.run": ("pipeline", ("source", "target", "transport", "sink"),
+                     "One staged-pipeline execution: checkpoint source, "
+                     "transport, reassembly sink and restart stage."),
+    "pipeline.restart": ("pipeline", ("proc", "node", "mode"),
+                         "Pipelined restart of one process the moment its "
+                         "image completed (memory sink)."),
 }
 
 #: Point-event kinds -> (layer, required fields, doc).
@@ -131,6 +137,9 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
                   "Causal edge between two spans across a task boundary "
                   "(chunk fill->pull, publish->deliver, image->restart, "
                   "stall->resume)."),
+    "pipeline.proc.ready": ("pipeline", ("proc", "node", "sink"),
+                            "One process's image finished reassembling in "
+                            "the pipeline's sink (restart may begin)."),
 }
 
 

@@ -277,3 +277,84 @@ def test_memory_restart_preserves_state():
     sim.run()
     assert p.value.app_state["counter"] == 123
     assert p.value.node == "spare0"
+
+
+def test_memory_restart_truncated_image_raises():
+    sim = Simulator()
+    restart = RestartEngine(sim, "spare0")
+    proc = data_proc(nbytes=1000)
+    image = CheckpointImage.snapshot(proc)
+    # Corrupt the resident payload after construction (the constructor
+    # itself rejects a short payload, so lose bytes the way a buggy
+    # reassembly would: in place).
+    image.payload = image.payload[:500]
+
+    def run(sim):
+        with pytest.raises(RestartError, match="truncated"):
+            yield from restart.restart_from_memory(image)
+        yield sim.timeout(0)
+
+    sim.spawn(run(sim))
+    sim.run()
+
+
+def test_memory_restart_none_image_raises():
+    sim = Simulator()
+    restart = RestartEngine(sim, "spare0")
+
+    def run(sim):
+        with pytest.raises(RestartError, match="no resident image"):
+            yield from restart.restart_from_memory(None)
+        yield sim.timeout(0)
+
+    sim.spawn(run(sim))
+    sim.run()
+
+
+def test_memory_restart_metrics_and_span_parity_with_file():
+    """Both restart paths are equally observable: one `blcr.restart` span
+    with mode/proc/node/nbytes, and a byte counter of the same value."""
+    from repro.simulate import MetricsRegistry, Tracer
+
+    nbytes = 60_000
+
+    def observe(mode):
+        tracer, registry = Tracer(), MetricsRegistry()
+        sim = Simulator(trace=tracer, metrics=registry)
+        engine = CheckpointEngine(sim, "node0")
+        restart = RestartEngine(sim, "spare0")
+        proc = data_proc(nbytes=nbytes)
+
+        if mode == "file":
+            fs = LocalFS(sim, Disk(sim, "spare0"), record_data=True)
+            sink = FileSink(sim, fs, "/ckpt", fsync=False,
+                            through_cache=True)
+
+            def run(sim):
+                image = yield from engine.checkpoint(proc, sink)
+                yield from restart.restart_from_file(
+                    fs, sink.path_for(image), metadata=image)
+        else:
+            sink = MemorySink(sim)
+
+            def run(sim):
+                image = yield from engine.checkpoint(proc, sink)
+                yield from restart.restart_from_memory(image)
+
+        sim.spawn(run(sim))
+        sim.run()
+        return tracer, registry
+
+    counters = {"file": "blcr.restart.bytes_read",
+                "memory": "blcr.restart.bytes_memory"}
+    for mode in ("file", "memory"):
+        tracer, registry = observe(mode)
+        ends = [r for r in tracer.of_kind("blcr.restart.end")
+                if r.get("mode") == mode]
+        assert len(ends) == 1
+        rec = ends[0]
+        assert rec.get("proc") == "rank0"
+        assert rec.get("node") == "spare0"
+        assert rec.get("nbytes") == nbytes
+        assert rec.get("duration") > 0
+        assert registry.counter(counters[mode]).value == nbytes

@@ -44,8 +44,9 @@ def test_trace_spans_at_least_20_kinds_across_all_layers(observed):
 
 
 def test_schema_covers_only_known_layers():
-    assert set(LAYERS) == {"framework", "buffer-pool", "checkpoint",
-                           "network", "mpi", "ftb", "storage", "flow"}
+    assert set(LAYERS) == {"framework", "pipeline", "buffer-pool",
+                           "checkpoint", "network", "mpi", "ftb", "storage",
+                           "flow"}
     for spec in TRACE_SCHEMA.values():
         assert spec.layer in LAYERS
         assert spec.doc
@@ -78,12 +79,19 @@ def test_phase_spans_match_report(observed):
     by_name = {iv.name: iv.duration for iv in intervals}
     for phase, seconds in report.phase_seconds.items():
         assert by_name[phase.value] == pytest.approx(seconds)
-    # migration span carries the total and parents the phase spans.
+    # migration span carries the total and parents the phase spans —
+    # directly for Stall/Resume, through the ``pipeline.run`` span for
+    # the Migration/Restart phases the pipeline owns.
     mig = tracer.of_kind("migration.start")[0]
     end = tracer.of_kind("migration.end")[0]
     assert end["total"] == pytest.approx(report.total_seconds)
+    run = tracer.of_kind("pipeline.run.start")[0]
+    assert run["parent"] == mig["span"]
     for rec in tracer.of_kind("phase.start"):
-        assert rec["parent"] == mig["span"]
+        if rec["phase"] in ("Job Migration", "Restart"):
+            assert rec["parent"] == run["span"]
+        else:
+            assert rec["parent"] == mig["span"]
 
 
 def test_metrics_cover_every_layer(observed):

@@ -163,3 +163,61 @@ def test_repair_tree_swaps_spare():
     assert "node2" not in jm.tree
     assert "spare0" in jm.tree
     assert sim.now >= jm.params.tree_repair_cost
+
+
+def test_nla_restart_expected_procs_mismatch():
+    from repro.pipeline import RestartSetMismatch
+
+    sim, cluster, bp, jm = make()
+    nla = jm.nla("spare0")
+    proc = OSProcess.synthetic("r", "node0", image_bytes=10_000,
+                               record_data=True)
+    image = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        with pytest.raises(RestartSetMismatch, match="2 processes"):
+            yield from nla.restart_processes({"r": image}, {}, mode="memory",
+                                             expected_procs=2)
+        yield sim.timeout(0)
+
+    sim.spawn(run(sim))
+    sim.run()
+    # Validation fires before any restart work: the spare stays a spare.
+    assert nla.state is NLAState.MIGRATION_SPARE
+
+
+def test_nla_restart_file_mode_missing_paths():
+    from repro.pipeline import RestartSetMismatch
+
+    sim, cluster, bp, jm = make()
+    nla = jm.nla("spare0")
+    proc = OSProcess.synthetic("r", "node0", image_bytes=10_000,
+                               record_data=True)
+    image = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        with pytest.raises(RestartSetMismatch, match="'r'"):
+            yield from nla.restart_processes({"r": image}, {}, mode="file")
+        yield sim.timeout(0)
+
+    sim.spawn(run(sim))
+    sim.run()
+
+
+def test_nla_restart_matching_expected_procs_succeeds():
+    sim, cluster, bp, jm = make()
+    nla = jm.nla("spare0")
+    proc = OSProcess.synthetic("r", "node0", image_bytes=10_000,
+                               record_data=True)
+    image = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        out = yield from nla.restart_processes({"r": image}, {},
+                                               mode="memory",
+                                               expected_procs=1)
+        return out
+
+    p = sim.spawn(run(sim))
+    sim.run()
+    assert set(p.value) == {"r"}
+    assert nla.state is NLAState.MIGRATION_READY

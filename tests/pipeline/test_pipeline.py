@@ -1,0 +1,100 @@
+"""End-to-end tests of the staged migration pipeline.
+
+The headline property: with the memory sink the restart stage overlaps
+Phase 2 (each rank restarts as its image reassembles), so the cycle is
+strictly shorter than with the file barrier, and the trace shows
+restarts beginning before the migration phase closes.
+"""
+
+import pytest
+
+from repro.core.protocol import MigrationPhase
+from repro.sanitize import TraceChecker
+from repro.scenario import Scenario
+from repro.simulate.trace import Tracer
+
+APP, NPROCS, NODES = "LU.C", 16, 4
+
+
+def run_traced(restart_mode, transport="rdma", record_data=False):
+    tracer = Tracer()
+    sc = Scenario.build(app=APP, nprocs=NPROCS, n_compute=NODES, n_spare=1,
+                        iterations=40, seed=0, transport=transport,
+                        restart_mode=restart_mode, record_data=record_data,
+                        trace=tracer)
+    report = sc.run_migration("node1", at=5.0)
+    return sc, report, tracer
+
+
+def test_memory_mode_strictly_faster_than_file_mode():
+    _, file_report, _ = run_traced("file")
+    _, mem_report, _ = run_traced("memory")
+    assert mem_report.total_seconds < file_report.total_seconds
+    # The win comes from the restart phase, not from moving fewer bytes.
+    assert mem_report.bytes_migrated == file_report.bytes_migrated
+    f_restart = file_report.phase_seconds[MigrationPhase.RESTART]
+    m_restart = mem_report.phase_seconds[MigrationPhase.RESTART]
+    assert m_restart < f_restart / 5
+
+
+def test_memory_mode_overlaps_restart_with_phase2():
+    _, _, tracer = run_traced("memory")
+    restarts = [r.time for r in tracer.of_kind("blcr.restart.start")
+                if r.get("mode") == "memory"]
+    phase2_end = [r.time for r in tracer.of_kind("phase.end")
+                  if r.get("phase") == MigrationPhase.MIGRATION.value]
+    assert len(restarts) == NPROCS // NODES
+    assert len(phase2_end) == 1
+    # Pipelining: the first rank's restore begins while later ranks'
+    # images are still crossing the wire.
+    assert min(restarts) < phase2_end[0]
+
+
+def test_file_mode_has_no_restart_before_phase3():
+    _, _, tracer = run_traced("file")
+    restarts = [r.time for r in tracer.of_kind("blcr.restart.start")]
+    phase3_start = [r.time for r in tracer.of_kind("phase.start")
+                    if r.get("phase") == MigrationPhase.RESTART.value]
+    assert restarts and len(phase3_start) == 1
+    assert min(restarts) >= phase3_start[0]
+
+
+@pytest.mark.parametrize("mode", ["file", "memory"])
+def test_pipeline_kinds_emitted(mode):
+    _, _, tracer = run_traced(mode)
+    runs = list(tracer.of_kind("pipeline.run.start"))
+    assert len(runs) == 1
+    assert runs[0].get("sink") == mode
+    assert runs[0].get("transport") == "rdma"
+    assert len(list(tracer.of_kind("pipeline.run.end"))) == 1
+    ready = list(tracer.of_kind("pipeline.proc.ready"))
+    assert len(ready) == NPROCS // NODES
+    assert {r.get("sink") for r in ready} == {mode}
+    restart_spans = list(tracer.of_kind("pipeline.restart.start"))
+    if mode == "memory":
+        assert len(restart_spans) == NPROCS // NODES
+    else:
+        assert restart_spans == []
+
+
+@pytest.mark.parametrize("mode", ["file", "memory"])
+def test_both_modes_sanitize_clean(mode):
+    _, _, tracer = run_traced(mode)
+    assert TraceChecker.check_trace(tracer) == []
+
+
+def test_memory_mode_preserves_recorded_state():
+    sc, report, _ = run_traced("memory", record_data=True)
+    target = report.target
+    moved = [r for r in sc.job.ranks if r.osproc.node == target]
+    assert len(moved) == NPROCS // NODES
+    # The job must still run to completion on the rebuilt ranks.
+    sc.run_to_completion()
+
+
+@pytest.mark.parametrize("transport", ["tcp", "staging"])
+def test_memory_sink_composes_with_baseline_transports(transport):
+    _, report, tracer = run_traced("memory", transport=transport)
+    assert report.total_seconds > 0
+    assert len(list(tracer.of_kind("pipeline.proc.ready"))) == NPROCS // NODES
+    assert TraceChecker.check_trace(tracer) == []

@@ -1,0 +1,134 @@
+"""Unit tests for the reassembly sinks and the stage registry."""
+
+import numpy as np
+import pytest
+
+from repro.blcr import CheckpointImage
+from repro.cluster import Cluster, OSProcess
+from repro.pipeline import (
+    FileReassemblySink,
+    MemoryReassemblySink,
+    ReassemblyError,
+    make_reassembly_sink,
+    make_restart_engine,
+    make_transport,
+    sink_names,
+    transport_names,
+)
+from repro.simulate import Simulator
+
+
+def drive(sim, gen):
+    p = sim.spawn(gen)
+    sim.run()
+    return p.value
+
+
+# ----------------------------------------------------------- memory sink
+def test_memory_sink_reassembles_payload_from_shuffled_chunks():
+    sim = Simulator()
+    sink = MemoryReassemblySink(sim)
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=3000,
+                               record_data=True)
+    meta = CheckpointImage.snapshot(proc)
+    payload = meta.payload
+    chunks = [(0, 1000), (1000, 1000), (2000, 1000)]
+
+    def run(sim):
+        # Arrival order is the transport's business, not the sink's.
+        for off, n in (chunks[2], chunks[0], chunks[1]):
+            data = np.frombuffer(payload[off:off + n], dtype=np.uint8)
+            yield from sink.write("r0", off, n, data)
+        yield from sink.finish("r0", meta, 3000)
+
+    drive(sim, run(sim))
+    image = sink.images["r0"]
+    assert image.payload == payload
+    assert image.checksum() == meta.checksum()
+    assert sink.paths == {}
+
+
+def test_memory_sink_missing_bytes_raise_reassembly_error():
+    sim = Simulator()
+    sink = MemoryReassemblySink(sim)
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=2000)
+    meta = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        yield from sink.write("r0", 0, 500, None)
+        with pytest.raises(ReassemblyError, match="500 of 2000"):
+            yield from sink.finish("r0", meta, 2000)
+
+    drive(sim, run(sim))
+    assert "r0" not in sink.images
+
+
+def test_memory_sink_sized_only_keeps_header_image():
+    sim = Simulator()
+    sink = MemoryReassemblySink(sim)
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=1000)
+    meta = CheckpointImage.snapshot(proc)
+    assert meta.payload is None
+
+    def run(sim):
+        yield from sink.write("r0", 0, 1000, None)
+        yield from sink.finish("r0", meta, 1000)
+
+    drive(sim, run(sim))
+    assert sink.images["r0"] is meta
+
+
+# ------------------------------------------------------------- file sink
+def test_file_sink_writes_each_proc_to_its_own_tmp_file():
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=1, n_spare=1, record_data=True)
+    target = cluster.node("spare0")
+    sink = FileReassemblySink(sim, target.fs, tmp_prefix="/tmp/migrate")
+    proc = OSProcess.synthetic("r0", "node0", image_bytes=2000,
+                               record_data=True)
+    meta = CheckpointImage.snapshot(proc)
+
+    def run(sim):
+        yield from sink.write("r0", 0, 1000, None)
+        yield from sink.write("r0", 1000, 1000, None)
+        yield from sink.finish("r0", meta, 2000)
+
+    drive(sim, run(sim))
+    assert sink.paths["r0"] == "/tmp/migrate/r0.ckpt"
+    assert sink.images["r0"] is meta
+    assert target.fs.size("/tmp/migrate/r0.ckpt") == 2000
+
+
+# -------------------------------------------------------------- registry
+def test_registry_names():
+    assert set(sink_names()) == {"file", "memory"}
+    assert set(transport_names()) == {"rdma", "tcp", "ipoib", "staging"}
+
+
+def test_registry_rejects_unknown_sink():
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=1, n_spare=1)
+    with pytest.raises(ValueError, match="unknown.*sink"):
+        make_reassembly_sink("tape", sim, cluster.node("spare0"))
+
+
+def test_registry_rejects_unknown_transport():
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=1, n_spare=1)
+    with pytest.raises(ValueError, match="unknown transport"):
+        make_transport("pigeon", sim, cluster, cluster.node("node0"),
+                       cluster.node("spare0"), cluster.testbed.migration)
+
+
+def test_registry_builds_each_sink_kind():
+    sim = Simulator()
+    cluster = Cluster(sim, n_compute=1, n_spare=1)
+    target = cluster.node("spare0")
+    assert make_reassembly_sink("file", sim, target).kind == "file"
+    assert make_reassembly_sink("memory", sim, target).kind == "memory"
+
+
+def test_registry_builds_restart_engine():
+    sim = Simulator()
+    engine = make_restart_engine(sim, "spare0")
+    assert engine.node_name == "spare0"

@@ -13,10 +13,12 @@ from repro.sanitize import TraceChecker
 from repro.sanitize.invariants import (
     ChunkLifecycleRule,
     PhaseOrderRule,
+    PipelineStageOrderRule,
     QPLifecycleRule,
     RkeyRule,
     SchemaRule,
     SessionRule,
+    SinkExclusivityRule,
     SpanRule,
     StallSilenceRule,
 )
@@ -458,3 +460,139 @@ def test_every_rule_has_a_one_line_law(rule_cls):
     rule = rule_cls()
     assert rule.doc, f"{rule.name} must document its law"
     assert "\n" not in rule.doc
+
+
+# ---------------------------------------------------------------------------
+# PipelineStageOrderRule
+# ---------------------------------------------------------------------------
+
+def pipeline_records(ready=("r0", "r1"), expected=2, close=True):
+    recs = [
+        (0.0, "pipeline.run.start", {"span": 1, "source": "node0",
+                                     "target": "spare0", "transport": "rdma",
+                                     "sink": "memory"}),
+        (0.01, "session.setup", {"source": "node0", "target": "spare0",
+                                 "chunks": 10, "pool_bytes": 1,
+                                 "expected_procs": expected}),
+    ]
+    t = 0.1
+    for proc in ready:
+        recs.append((t, "blcr.checkpoint.start", {"span": 50 + hash(proc) % 40,
+                                                  "proc": proc,
+                                                  "node": "node0"}))
+        recs.append((t + 0.05, "pipeline.proc.ready",
+                     {"proc": proc, "node": "spare0", "sink": "memory"}))
+        t += 0.2
+    if close:
+        recs.append((t, "pipeline.run.end", {"span": 1}))
+    return recs
+
+
+def test_pipeline_stage_order_clean():
+    assert check(PipelineStageOrderRule(), pipeline_records()) == []
+
+
+def test_pipeline_ready_without_open_run():
+    violations = check(PipelineStageOrderRule(), [
+        (0.0, "pipeline.proc.ready", {"proc": "r0", "node": "spare0",
+                                      "sink": "memory"}),
+    ])
+    assert any("no pipeline run open" in v.message for v in violations)
+
+
+def test_pipeline_ready_before_checkpoint_started():
+    recs = pipeline_records(ready=())
+    recs.insert(2, (0.05, "pipeline.proc.ready",
+                    {"proc": "ghost", "node": "spare0", "sink": "memory"}))
+    violations = check(PipelineStageOrderRule(), recs)
+    assert any("before its checkpoint" in v.message for v in violations)
+
+
+def test_pipeline_duplicate_ready():
+    recs = pipeline_records(ready=("r0",), expected=1, close=False)
+    recs.append((0.5, "pipeline.proc.ready",
+                 {"proc": "r0", "node": "spare0", "sink": "memory"}))
+    recs.append((0.6, "pipeline.run.end", {"span": 1}))
+    violations = check(PipelineStageOrderRule(), recs)
+    assert any("ready twice" in v.message for v in violations)
+
+
+def test_pipeline_restart_before_ready():
+    recs = pipeline_records(ready=(), expected=None, close=False)
+    recs.append((0.2, "pipeline.restart.start",
+                 {"span": 9, "proc": "r0", "node": "spare0",
+                  "mode": "memory"}))
+    violations = check(PipelineStageOrderRule(), recs)
+    assert any("before its image was ready" in v.message for v in violations)
+
+
+def test_pipeline_run_closed_short():
+    violations = check(PipelineStageOrderRule(),
+                       pipeline_records(ready=("r0",), expected=2))
+    assert any("1 of 2 expected" in v.message for v in violations)
+
+
+def test_pipeline_run_never_closed():
+    violations = check(PipelineStageOrderRule(),
+                       pipeline_records(close=False))
+    assert any("never closed" in v.message for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# SinkExclusivityRule
+# ---------------------------------------------------------------------------
+
+def test_sink_exclusivity_clean_memory_run():
+    assert check(SinkExclusivityRule(), [
+        (0.0, "pipeline.run.start", {"span": 1, "source": "n0",
+                                     "target": "spare0", "transport": "rdma",
+                                     "sink": "memory"}),
+        (0.1, "blcr.restart.start", {"span": 2, "proc": "r0",
+                                     "node": "spare0", "mode": "memory"}),
+        (0.2, "pipeline.run.end", {"span": 1}),
+    ]) == []
+
+
+def test_sink_exclusivity_file_restart_inside_memory_run():
+    violations = check(SinkExclusivityRule(), [
+        (0.0, "pipeline.run.start", {"span": 1, "source": "n0",
+                                     "target": "spare0", "transport": "rdma",
+                                     "sink": "memory"}),
+        (0.1, "blcr.restart.start", {"span": 2, "proc": "r0",
+                                     "node": "spare0", "mode": "file"}),
+    ])
+    assert any("mode 'file'" in v.message and "'memory'" in v.message
+               for v in violations)
+
+
+def test_sink_exclusivity_tmp_file_inside_memory_run():
+    violations = check(SinkExclusivityRule(), [
+        (0.0, "pipeline.run.start", {"span": 1, "source": "n0",
+                                     "target": "spare0", "transport": "rdma",
+                                     "sink": "memory"}),
+        (0.1, "fs.create", {"node": "spare0",
+                            "path": "/tmp/migrate/r0.ckpt"}),
+    ])
+    assert any("file barrier" in v.message for v in violations)
+
+
+def test_sink_exclusivity_restart_outside_any_run_ignored():
+    # The CR baseline restarts without a pipeline run: none of this
+    # rule's business.
+    assert check(SinkExclusivityRule(), [
+        (0.0, "blcr.restart.start", {"span": 2, "proc": "r0",
+                                     "node": "spare0", "mode": "file"}),
+    ]) == []
+
+
+def test_sink_exclusivity_file_run_allows_tmp_files():
+    assert check(SinkExclusivityRule(), [
+        (0.0, "pipeline.run.start", {"span": 1, "source": "n0",
+                                     "target": "spare0", "transport": "rdma",
+                                     "sink": "file"}),
+        (0.1, "fs.create", {"node": "spare0",
+                            "path": "/tmp/migrate/r0.ckpt"}),
+        (0.2, "blcr.restart.start", {"span": 2, "proc": "r0",
+                                     "node": "spare0", "mode": "file"}),
+        (0.3, "pipeline.run.end", {"span": 1}),
+    ]) == []

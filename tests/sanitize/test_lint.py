@@ -263,3 +263,60 @@ def test_production_tree_is_lint_clean():
     pkg = os.path.dirname(os.path.abspath(repro.__file__))
     findings = lint_paths([pkg])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# direct-construction
+# ---------------------------------------------------------------------------
+
+def test_direct_session_construction_flagged():
+    found = findings_for("""
+        from repro.core.buffer_manager import RDMAMigrationSession
+
+        def go(sim, cluster, a, b):
+            return RDMAMigrationSession(sim, cluster, a, b)
+    """)
+    assert [f.code for f in found] == ["direct-construction"]
+    assert "repro.pipeline.registry" in found[0].message
+
+
+def test_direct_restart_engine_construction_flagged():
+    assert codes("""
+        from repro.blcr.restart import RestartEngine
+
+        def go(sim):
+            return RestartEngine(sim, "spare0")
+    """) == ["direct-construction"]
+
+
+def test_attribute_call_construction_flagged():
+    assert codes("""
+        import repro.blcr.restart as r
+
+        def go(sim):
+            return r.RestartEngine(sim, "spare0")
+    """) == ["direct-construction"]
+
+
+def test_construction_inside_pipeline_package_exempt():
+    source = """
+        from repro.blcr.restart import RestartEngine
+
+        def go(sim):
+            return RestartEngine(sim, "spare0")
+    """
+    findings, _ = lint_source(textwrap.dedent(source),
+                              "src/repro/pipeline/registry.py")
+    assert [f.code for f in findings] == []
+
+
+def test_construction_inside_baselines_module_exempt():
+    source = """
+        from repro.core.buffer_manager import RDMAMigrationSession
+
+        def go(sim, cluster, a, b):
+            return RDMAMigrationSession(sim, cluster, a, b)
+    """
+    findings, _ = lint_source(textwrap.dedent(source),
+                              "src/repro/core/baselines.py")
+    assert [f.code for f in findings] == []

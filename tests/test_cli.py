@@ -124,3 +124,49 @@ def test_bench_command_clean_and_regressing(capsys, tmp_path):
 def test_bad_app_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["migrate", "--app", "FT.C"])
+
+
+def test_compare_memory_restart_mode(capsys):
+    out = run_cli(capsys, "compare", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--restart-mode", "memory")
+    assert "restart=memory" in out
+    assert "speedup over CR(ext3)" in out
+
+
+def test_migrate_trace_out_exports_jsonl(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "trace.jsonl"
+    out = run_cli(capsys, "migrate", "--app", "LU.C", "--nprocs", "8",
+                  "--nodes", "2", "--source", "node1",
+                  "--restart-mode", "memory", "--trace-out", str(path))
+    assert f"wrote {path}" in out
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows and all("kind" in r for r in rows)
+    assert any(r["kind"] == "pipeline.run.start" for r in rows)
+
+
+@pytest.mark.parametrize("command", ["critical-path", "sanitize"])
+def test_missing_trace_file_is_one_line_error(capsys, command):
+    rc = main([command, "--from-jsonl", "/no/such/trace.jsonl"])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert out.strip() == "error: trace file not found: /no/such/trace.jsonl"
+    assert "Traceback" not in out
+
+
+@pytest.mark.parametrize("command", ["critical-path", "sanitize"])
+def test_empty_trace_file_is_one_line_error(capsys, tmp_path, command):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    rc = main([command, "--from-jsonl", str(empty)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert out.strip() == f"error: trace file is empty: {empty}"
+
+
+def test_bench_parser_accepts_restart_mode():
+    args = build_parser().parse_args(["bench", "--restart-mode", "memory"])
+    assert args.restart_mode == "memory"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "--restart-mode", "tape"])

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.blcr",
     "repro.ftb",
     "repro.launch",
+    "repro.pipeline",
     "repro.core",
     "repro.workloads",
     "repro.analysis",
