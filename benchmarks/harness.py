@@ -47,11 +47,15 @@ from .paper_reference import (
     TABLE1_MB,
 )
 
-__all__ = ["BENCH_SCHEMA_VERSION", "BENCHES", "run_bench", "run_benches",
-           "compare_to_baselines", "flatten_results", "default_baselines_path"]
+__all__ = ["BENCH_SCHEMA_VERSION", "ABS_TOLERANCE_FLOOR", "BENCHES",
+           "run_bench", "run_benches", "compare_to_baselines",
+           "flatten_results", "default_baselines_path"]
 
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_REL_TOLERANCE = 0.05
+#: Baselines with |value| at or below this are compared by absolute delta:
+#: relative drift against a (near-)zero pin is numerically meaningless.
+ABS_TOLERANCE_FLOOR = 1e-9
 
 
 def default_baselines_path() -> str:
@@ -238,12 +242,113 @@ def bench_pipeline(restart_mode: str = "file") -> Dict[str, Any]:
             "dominant": dominants}
 
 
+def _kernel_sweep(scheduler: str) -> Tuple[Dict[str, float], float]:
+    """Untraced Fig. 6 ranks/node sweep under one scheduler.
+
+    Returns deterministic kernel counters (pinnable) and the wall time of
+    the simulation runs alone (build excluded — scenario assembly is not
+    what this family measures).
+    """
+    processed = cancelled = 0
+    final_time = 0.0
+    wall = 0.0
+    for ppn in (1, 2, 4, 8):
+        sc = Scenario.build(app="LU.C", nprocs=8 * ppn, n_compute=8,
+                            n_spare=1, iterations=40, seed=0,
+                            scheduler=scheduler)
+        t0 = time.perf_counter()
+        sc.run_migration("node3", at=5.0)
+        wall += time.perf_counter() - t0
+        processed += sc.sim.events_processed
+        cancelled += sc.sim.events_cancelled
+        final_time += sc.sim.now
+    return ({"events_processed": float(processed),
+             "events_cancelled": float(cancelled),
+             "final_time": round(final_time, 6)}, wall)
+
+
+def _kernel_churn(scheduler: str) -> Tuple[Dict[str, float], float]:
+    """Synthetic scheduler-churn workload: timer races + store ping-pong.
+
+    Every ``fast | slow`` race leaves a losing timeout that the kernel
+    must drop as a cancelled straggler, so this workload pins the lazy
+    cancellation machinery, not just raw dispatch.  Fully deterministic:
+    delays come from small modular arithmetic, no RNG.
+    """
+    from repro.simulate.core import Simulator
+    from repro.simulate.resources import Store
+
+    sim = Simulator(scheduler=scheduler)
+    n_workers, n_rounds = 64, 40
+
+    def racer(i: int):
+        for r in range(n_rounds):
+            fast = sim.timeout(((i * 7 + r) % 5) + 1.0)
+            slow = sim.timeout(((i * 3 + r) % 5) + 7.0)
+            yield fast | slow
+        return i
+
+    ping: Store = Store(sim)
+    pong: Store = Store(sim)
+
+    def pinger():
+        for r in range(n_workers * 4):
+            ping.put(r)
+            got = yield pong.get()
+            assert got == r
+
+    def ponger():
+        for _ in range(n_workers * 4):
+            got = yield ping.get()
+            pong.put(got)
+
+    for i in range(n_workers):
+        sim.spawn(racer(i), name=f"racer-{i}")
+    sim.spawn(pinger(), name="pinger")
+    sim.spawn(ponger(), name="ponger")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return ({"events_processed": float(sim.events_processed),
+             "events_cancelled": float(sim.events_cancelled),
+             "final_time": round(sim.now, 6)}, wall)
+
+
+def bench_events_per_sec(restart_mode: str = "file") -> Dict[str, Any]:
+    """Kernel throughput family: Fig. 6 sweep + synthetic churn, per scheduler.
+
+    The deterministic counters (events processed / cancelled, final sim
+    time) go under ``results`` and are pinned in the baselines — for both
+    schedulers, so the baseline diff doubles as a cross-scheduler identity
+    gate.  Wall-clock throughput goes under ``throughput`` (outside the
+    diffed section: wall time is hardware-dependent, not a regression).
+    """
+    del restart_mode
+    results: Dict[str, Any] = {}
+    throughput: Dict[str, Any] = {}
+    for workload, runner in (("fig6_sweep", _kernel_sweep),
+                             ("churn", _kernel_churn)):
+        results[workload] = {}
+        throughput[workload] = {}
+        for scheduler in ("heap", "calendar"):
+            counts, wall = runner(scheduler)
+            results[workload][scheduler] = counts
+            throughput[workload][scheduler] = {
+                "wall_seconds": round(wall, 4),
+                "events_per_sec": round(counts["events_processed"]
+                                        / max(wall, 1e-9)),
+            }
+    return {"title": "Kernel throughput — events/sec by scheduler",
+            "results": results, "throughput": throughput}
+
+
 BENCHES: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig4": bench_fig4,
     "fig6": bench_fig6,
     "fig7": bench_fig7,
     "table1": bench_table1,
     "pipeline": bench_pipeline,
+    "events_per_sec": bench_events_per_sec,
 }
 
 
@@ -299,8 +404,19 @@ def compare_to_baselines(measured: Dict[str, Dict[str, float]],
                                 f"from results")
                 continue
             value = got[key]
-            denom = max(abs(base), 1e-9)
-            drift = (value - base) / denom
+            diff = value - base
+            if abs(base) <= ABS_TOLERANCE_FLOOR:
+                # Near-zero baseline: a relative delta is meaningless —
+                # dividing by ~0 either explodes on harmless float dust or
+                # silently passes everything.  Compare absolutely instead.
+                if abs(diff) > ABS_TOLERANCE_FLOOR:
+                    problems.append(
+                        f"{bench}: {key} = {value:.6g} moved off "
+                        f"near-zero baseline {base:.6g} "
+                        f"(|delta| {abs(diff):.3g} > absolute floor "
+                        f"{ABS_TOLERANCE_FLOOR:g})")
+                continue
+            drift = diff / abs(base)
             if abs(drift) > tol:
                 problems.append(
                     f"{bench}: {key} = {value:.6g} drifted "

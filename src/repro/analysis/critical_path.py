@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["SpanNode", "FlowEdge", "SpanDAG", "CriticalPath", "Segment",
            "build_span_dag", "critical_path", "dominant_component",
            "render_waterfall", "render_blame"]
@@ -142,26 +144,37 @@ def build_span_dag(trace) -> SpanDAG:
             node.truncated = True
     # Containment fallback for spans opened in spawned tasks: smallest
     # enclosing span by time.  Ties on identical intervals break toward
-    # the smaller span id, which keeps the relation acyclic.
-    for node in nodes.values():
-        if node.parent is not None and node.parent in nodes:
-            continue
-        best: Optional[SpanNode] = None
-        for cand in nodes.values():
-            if cand.span_id == node.span_id or not cand.contains(node):
-                continue
-            if cand.duration <= node.duration + _EPS \
-                    and not cand.span_id < node.span_id:
-                continue  # same interval, later id: not a parent
-            if best is None or cand.duration < best.duration or (
-                    abs(cand.duration - best.duration) <= _EPS
-                    and cand.start > best.start + _EPS):
-                best = cand
-        if best is not None:
-            node.parent = best.span_id
-            node.synthetic_parent = True
-        else:
-            node.parent = None
+    # the smaller span id, which keeps the relation acyclic.  The
+    # containment test is vectorized — one mask over all spans per
+    # parentless node instead of an O(nodes) Python scan — and the
+    # handful of surviving candidates then go through the exact
+    # sequential tie-break the scalar loop used, in the same order.
+    parentless = [node for node in nodes.values()
+                  if node.parent is None or node.parent not in nodes]
+    if parentless and nodes:
+        all_nodes = list(nodes.values())
+        starts = np.array([n.start for n in all_nodes])
+        ends = np.array([n.end for n in all_nodes])
+        durations = ends - starts
+        ids = np.array([n.span_id for n in all_nodes])
+        for node in parentless:
+            mask = ((starts <= node.start + _EPS)
+                    & (ends >= node.end - _EPS)
+                    & (ids != node.span_id)
+                    & ((durations > node.duration + _EPS)
+                       | (ids < node.span_id)))
+            best: Optional[SpanNode] = None
+            for i in np.nonzero(mask)[0]:
+                cand = all_nodes[i]
+                if best is None or cand.duration < best.duration or (
+                        abs(cand.duration - best.duration) <= _EPS
+                        and cand.start > best.start + _EPS):
+                    best = cand
+            if best is not None:
+                node.parent = best.span_id
+                node.synthetic_parent = True
+            else:
+                node.parent = None
     roots: List[SpanNode] = []
     for node in nodes.values():
         if node.parent is not None and node.parent in nodes:

@@ -129,8 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
              "against benchmarks/baselines.json")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json artifacts")
-    bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
-                       help="subset of benches (fig4 fig6 fig7 table1)")
+    bench.add_argument("--only", "--family", nargs="+", default=None,
+                       metavar="NAME", dest="only",
+                       help="subset of benches (fig4 fig6 fig7 table1 "
+                            "pipeline events_per_sec); --family is an "
+                            "alias")
     bench.add_argument("--baselines", default=None, metavar="PATH",
                        help="baselines file (default: "
                             "benchmarks/baselines.json)")
@@ -143,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["file", "memory"],
                        help="restart path for the migration benches; "
                             "non-file runs skip the baselines diff")
+    bench.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="also run the benches under cProfile and "
+                            "write the aggregated stats (pstats dump) "
+                            "there, with a .txt top-function summary "
+                            "next to it")
 
     san = sub.add_parser(
         "sanitize",
@@ -341,12 +349,30 @@ def _cmd_bench(args):
         raise SystemExit(
             f"cannot import benchmarks.harness ({exc}); run from the "
             "repository root so the benchmarks/ package is importable")
+    if args.profile_out:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     paths, regressions, text = run_benches(
         names=args.only, out_dir=args.out_dir,
         baselines_path=args.baselines,
         update_baselines=args.update_baselines,
         tolerance=args.tolerance,
         restart_mode=args.restart_mode)
+    if args.profile_out:
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(40)
+        summary_path = args.profile_out + ".txt"
+        with open(summary_path, "w", encoding="utf-8") as fh:
+            fh.write(buf.getvalue())
+        text += (f"\nprofile: {args.profile_out} "
+                 f"(summary: {summary_path})")
     return text, (1 if regressions else 0)
 
 
@@ -442,3 +468,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     text, code = out if isinstance(out, tuple) else (out, 0)
     print(text)
     return code
+
+
+if __name__ == "__main__":  # pragma: no cover - ``python -m repro`` is canonical
+    import sys
+
+    sys.exit(main())

@@ -41,17 +41,40 @@ floor as streams are added); network links keep the default of 1.0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from ..simulate.core import Event, Simulator
 
 __all__ = ["Link", "Flow", "FluidNetwork", "FluidEngineStats",
-           "stream_efficiency"]
+           "stream_efficiency", "DEFAULT_SOLVER", "SOLVERS"]
 
 #: Residual bytes below which a flow counts as finished (absorbs FP error).
 _EPS_BYTES = 1e-3
 #: Residual capacity below which a link counts as saturated.
 _EPS_RATE = 1e-9
+
+#: Solver used when ``FluidNetwork(solver=None)``.  ``"scalar"`` is the
+#: original per-link dict loop, ``"vector"`` the numpy matrix pass, and
+#: ``"auto"`` picks per component: numpy's fixed call overhead beats the
+#: dict loop only once a component is big enough.  All three produce
+#: byte-identical rates (the parity suite asserts it): the vector pass
+#: performs the same IEEE additions/divisions in the same per-flow order.
+DEFAULT_SOLVER = "auto"
+
+SOLVERS = ("auto", "scalar", "vector")
+
+#: ``"auto"`` switches to the vectorized fill at this component size.
+#: Measured crossover (see docs/performance.md): because every transfer
+#: start/completion perturbs component membership, the incidence matrix is
+#: rebuilt per recompute, and numpy's per-call overhead keeps the matrix
+#: pass *slower* than the dict loop on every tested shape up to 512 flows
+#: (0.4-0.9x).  The threshold is therefore set beyond any component the
+#: migration scenarios produce; ``solver="vector"`` remains available as
+#: the parity-checked opt-in for genuinely huge components.
+_VECTOR_MIN_FLOWS = 4096
 
 
 def stream_efficiency(per_stream: float, floor: float) -> Callable[[int], float]:
@@ -127,10 +150,11 @@ class Flow:
     """One in-progress bulk transfer across a path of links."""
 
     __slots__ = ("path", "remaining", "size", "rate", "event", "latency",
-                 "started_at", "label")
+                 "started_at", "label", "seq")
 
     def __init__(self, path: Sequence[Link], nbytes: float, event: Event,
-                 latency: float, started_at: float, label: str):
+                 latency: float, started_at: float, label: str,
+                 seq: int = 0):
         self.path = tuple(path)
         self.size = float(nbytes)
         self.remaining = float(nbytes)
@@ -139,6 +163,12 @@ class Flow:
         self.latency = latency
         self.started_at = started_at
         self.label = label
+        #: Start-order sequence within the owning network.  Flow sets are
+        #: iterated by id-hash, so anything order-sensitive (who completes
+        #: first at the same instant, which partition piece reschedules
+        #: first) sorts by this instead — object ids vary run to run,
+        #: start order never does.
+        self.seq = seq
 
     def __repr__(self) -> str:
         return (f"<Flow {self.label or 'anon'} {self.remaining:.0f}/{self.size:.0f}B "
@@ -187,7 +217,8 @@ class _Component:
     counters) of any other.
     """
 
-    __slots__ = ("flows", "links", "last_sync", "generation", "alive")
+    __slots__ = ("flows", "links", "last_sync", "generation", "alive",
+                 "guard")
 
     def __init__(self, now: float):
         self.flows: Set[Flow] = set()
@@ -197,11 +228,20 @@ class _Component:
         self.generation: int = 0
         #: False once merged away or drained; guards from the dead no-op.
         self.alive: bool = True
+        #: The pending completion-guard event, cancelled when superseded so
+        #: the calendar drops it instead of dispatching a no-op callback.
+        self.guard: Optional[Event] = None
 
     def absorb(self, other: "_Component") -> None:
         self.flows |= other.flows
         self.links |= other.links
         other.alive = False
+        guard = other.guard
+        if guard is not None:
+            other.guard = None
+            if guard.callbacks:
+                guard.callbacks = []
+                guard.cancel()
 
     def add_flow(self, flow: Flow) -> None:
         self.flows.add(flow)
@@ -229,10 +269,15 @@ class FluidNetwork:
     total number of active flows.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, solver: Optional[str] = None):
         self.sim = sim
+        self.solver = solver if solver is not None else DEFAULT_SOLVER
+        if self.solver not in SOLVERS:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVERS}")
         self._flows: Set[Flow] = set()
         self._components: Set[_Component] = set()
+        self._flow_seq = count()
         self.stats = FluidEngineStats()
         m = sim.metrics
         self._m_started = m.counter("fluid.flows.started", unit="flows")
@@ -259,7 +304,8 @@ class FluidNetwork:
         if nbytes == 0:
             ev.succeed_later(None, latency)
             return ev
-        flow = Flow(path, nbytes, ev, latency, self.sim.now, label)
+        flow = Flow(path, nbytes, ev, latency, self.sim.now, label,
+                    seq=next(self._flow_seq))
 
         # Components whose rate allocation the new flow perturbs: exactly
         # those reachable through the path's links.  Everything else keeps
@@ -306,7 +352,10 @@ class FluidNetwork:
         now = self.sim.now
         dt = now - comp.last_sync
         if dt > 0:
-            for flow in comp.flows:
+            # Accumulate in flow start order: float addition is not
+            # associative, and iterating the set directly made the last
+            # ulp of ``bytes_carried`` depend on allocation addresses.
+            for flow in sorted(comp.flows, key=lambda f: f.seq):
                 moved = flow.rate * dt
                 flow.remaining -= moved
                 for link in flow.path:
@@ -338,6 +387,14 @@ class FluidNetwork:
             flow.rate = 0.0
         if not comp.flows:
             return
+        if self.solver == "vector" or (self.solver == "auto"
+                                       and len(comp.flows) >= _VECTOR_MIN_FLOWS):
+            self._fill_vector(comp)
+        else:
+            self._fill_scalar(comp)
+
+    def _fill_scalar(self, comp: _Component) -> None:
+        """The original per-link dict loop of the progressive fill."""
         links: Dict[Link, float] = {}
         unfrozen_on: Dict[Link, int] = {}
         for flow in comp.flows:
@@ -373,19 +430,88 @@ class FluidNetwork:
                 for link in flow.path:
                     unfrozen_on[link] -= 1
 
+    def _fill_vector(self, comp: _Component) -> None:
+        """Progressive fill as numpy matrix passes over the whole component.
+
+        Bit-for-bit equivalent to :meth:`_fill_scalar`: the same IEEE
+        double additions, subtractions and divisions happen with the same
+        operands in the same per-element order — only the Python-level
+        iteration is replaced by array ops.  Path *occurrences* (a path
+        crossing a link twice) are counted, matching the scalar loop.
+        """
+        flow_list = list(comp.flows)
+        nflows = len(flow_list)
+        link_index: Dict[Link, int] = {}
+        link_list: List[Link] = []
+        rows: List[int] = []
+        cols: List[int] = []
+        for fi, flow in enumerate(flow_list):
+            for link in flow.path:
+                li = link_index.get(link)
+                if li is None:
+                    li = link_index[link] = len(link_list)
+                    link_list.append(link)
+                rows.append(fi)
+                cols.append(li)
+        nlinks = len(link_list)
+        # usage[f, l]: how many times flow f's path crosses link l.
+        flat = np.asarray(rows, dtype=np.intp) * nlinks \
+            + np.asarray(cols, dtype=np.intp)
+        usage = np.bincount(flat, minlength=nflows * nlinks) \
+            .astype(np.float64).reshape(nflows, nlinks)
+        residual = np.array([link.effective_capacity() for link in link_list])
+        thresh = np.array([_EPS_RATE * link.capacity + _EPS_RATE
+                           for link in link_list])
+        counts = usage.sum(axis=0)  # unfrozen path-occurrences per link
+        rates = np.zeros(nflows)
+        # Masks are kept as 0.0/1.0 floats so the per-round updates are
+        # mask-multiplies and BLAS matvecs instead of fancy indexing.
+        # Adding ``inc * 0.0`` to a frozen rate and subtracting ``inc *
+        # 0.0`` from an idle link's residual are IEEE no-ops, so this
+        # stays bit-identical to the masked scalar updates.
+        unfrozen = np.ones(nflows)
+        while unfrozen.any():
+            active = counts > 0.0
+            if not active.any():
+                break
+            inc = (residual[active] / counts[active]).min()
+            rates += inc * unfrozen
+            residual -= inc * counts
+            saturated = active & (residual <= thresh)
+            if not saturated.any():
+                break  # mirrors the scalar loop's impossible-headroom guard
+            crossing = usage @ saturated.astype(np.float64)
+            frozen_now = unfrozen * (crossing > 0.0)
+            unfrozen -= frozen_now
+            counts -= frozen_now @ usage
+        for fi, flow in enumerate(flow_list):
+            flow.rate = float(rates[fi])
+
     def _reschedule(self, comp: _Component) -> None:
         """Recompute the component's rates and arm its completion guard."""
         self._recompute_rates(comp)
         comp.generation += 1
         gen = comp.generation
+        old_guard = comp.guard
+        if old_guard is not None:
+            # The previous guard is superseded; cancelling lets the
+            # calendar drop it unpopped instead of dispatching a no-op.
+            # A guard that already fired has callbacks == None — leave it.
+            comp.guard = None
+            if old_guard.callbacks:
+                old_guard.callbacks = []
+                old_guard.cancel()
         if not comp.flows:
             comp.alive = False
             self._components.discard(comp)
             return
-        next_done = min(
-            flow.remaining / flow.rate if flow.rate > 0 else float("inf")
-            for flow in comp.flows
-        )
+        next_done = float("inf")
+        for flow in comp.flows:
+            if flow.rate > 0:
+                eta = flow.remaining / flow.rate
+                if eta < next_done:
+                    next_done = eta
+            # rate == 0 leaves next_done alone (infinite ETA)
         next_done = max(next_done, 0.0)
         if next_done == float("inf"):
             raise RuntimeError("fluid network stalled: a flow has zero rate")
@@ -393,6 +519,7 @@ class FluidNetwork:
         guard.callbacks.append(lambda ev: self._on_completion(comp, gen))
         guard._ok = True
         guard._value = None
+        comp.guard = guard
         self.sim._schedule(guard, 1, next_done)  # NORMAL priority
 
     def _on_completion(self, comp: _Component, generation: int) -> None:
@@ -400,6 +527,11 @@ class FluidNetwork:
             return  # superseded by a later population change or a merge
         self._sync(comp)
         done = [f for f in comp.flows if f.remaining <= _EPS_BYTES]
+        # comp.flows iterates by id-hash, which varies run to run; flows
+        # finishing at the same instant must succeed in start order or the
+        # trace (and any same-time tie-break downstream) goes
+        # nondeterministic.
+        done.sort(key=lambda f: f.seq)
         for flow in done:
             flow.remaining = 0.0
             self._flows.discard(flow)
@@ -454,7 +586,10 @@ class FluidNetwork:
         """
         pieces: List[tuple] = []
         visited: Set[Flow] = set()
-        for start in comp.flows:
+        # Deterministic piece order: seed the walk in flow start order so
+        # the pieces (and therefore their reschedule order and guard
+        # sequence numbers) are identical across runs.
+        for start in sorted(comp.flows, key=lambda f: f.seq):
             if start in visited:
                 continue
             flows: Set[Flow] = set()

@@ -50,15 +50,18 @@ class Scenario:
               iterations: Optional[int] = None,
               testbed: Testbed = DEFAULT_TESTBED,
               start_app: bool = True, trace=None,
-              metrics=None) -> "Scenario":
+              metrics=None, scheduler: Optional[str] = None) -> "Scenario":
         """Assemble the paper's testbed (8 compute + 1 spare by default).
 
         Pass a :class:`repro.simulate.Tracer` as ``trace`` to record phase
         boundaries and protocol events for timeline analysis, and a
         :class:`repro.simulate.MetricsRegistry` as ``metrics`` to collect
         counters/gauges/histograms from every instrumented layer.
+        ``scheduler`` selects the kernel's event queue (``"heap"`` or
+        ``"calendar"``); results are identical either way — the
+        determinism suite and the events_per_sec bench both assert it.
         """
-        sim = Simulator(metrics=metrics)
+        sim = Simulator(metrics=metrics, scheduler=scheduler)
         cluster = Cluster(sim, n_compute=n_compute, n_spare=n_spare,
                           testbed=testbed, with_pvfs=with_pvfs,
                           record_data=record_data, seed=seed, trace=trace)

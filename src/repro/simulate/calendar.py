@@ -1,0 +1,209 @@
+"""Bucketed calendar-queue event scheduler (Brown 1988, NS-2 style).
+
+An alternative to the binary-heap calendar in :mod:`repro.simulate.core`:
+pending events are hashed into time buckets of a fixed *width*, and the
+dequeue cursor sweeps the buckets in time order.  With a well-chosen width
+both enqueue and dequeue are O(1) amortized, independent of the pending
+population — the property that matters for very large sweeps where a heap's
+O(log n) per operation starts to show.
+
+Ordering parity
+---------------
+Entries are the same ``(time, priority, seq, event)`` tuples the heap uses,
+and the minimum inside a bucket is found by plain tuple comparison, so two
+entries are ordered *exactly* as the heap orders them — including the
+``priority`` and ``seq`` tie-breaks at equal times.  Equal-time entries
+always hash to the same bucket, so a bucket-local tuple-min is a global min.
+The determinism suite asserts byte-identical traces across both schedulers.
+
+The cursor is an integer *day* (``int(t // width)``), never a running float.
+An earlier revision kept the cursor as an accumulated ``top += width``
+float; after enough sweep steps the accumulated boundary drifted below the
+true ``(day + 1) * width``, the push-side rewind check missed entries
+landing just behind the cursor, and the queue served a later bucket first.
+The day of each entry is now computed once, on the push side, by the exact
+expression that also picks its bucket, and stored alongside the entry —
+the dequeue sweep only ever compares integers, so cursor and hash can
+never disagree.
+
+Adaptation
+----------
+The queue resizes (doubling / halving the bucket count) when the population
+crosses ``2 * nbuckets`` or falls below ``nbuckets // 2``, and re-derives
+the bucket width from the observed spread of pending event times at each
+resize.  This keeps the average bucket occupancy O(1) without tuning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["CalendarQueue"]
+
+#: Entries are exactly the heap tuples: ``(time, priority, seq, event)``.
+Entry = Tuple[float, int, int, object]
+
+#: What the buckets actually hold: the entry's day, computed once at push
+#: time, paired with the entry.  Lexicographic comparison of pairs orders
+#: exactly like comparing the bare entries (the day is a monotone function
+#: of the time), so a pair-min is an entry-min.
+_Slot = Tuple[int, Entry]
+
+_INF = float("inf")
+
+#: Never shrink below this many buckets (also the initial count).
+_MIN_BUCKETS = 8
+
+#: Lower bound on the bucket width — guards against a degenerate width of 0
+#: when every pending event shares one timestamp.
+_MIN_WIDTH = 1e-9
+
+
+class CalendarQueue:
+    """A calendar queue exposing the queue surface ``Simulator`` expects:
+    ``push`` / ``pop`` / ``peek_entry`` / ``__len__``.
+
+    Not thread-safe (neither is the simulator) and, like the kernel heap,
+    it assumes time never runs backwards: pushed times are ``>=`` the time
+    of the last popped entry.
+    """
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_size",
+                 "_cursor_day", "_cache")
+
+    def __init__(self, start: float = 0.0, width: float = 1.0,
+                 nbuckets: int = _MIN_BUCKETS):
+        self._nbuckets = nbuckets
+        self._buckets: List[List[_Slot]] = [[] for _ in range(nbuckets)]
+        self._width = float(width)
+        self._size = 0
+        #: The day (time-bucket index before the modulo) the dequeue sweep
+        #: is standing on.  Invariant: no pending entry's day precedes it.
+        self._cursor_day = int(start // self._width)
+        # Cached location of the current minimum: (bucket_list, index, slot).
+        # Invalidated by any push or pop; makes the peek-then-pop pattern of
+        # the run loop cost a single bucket scan per event.
+        self._cache: Optional[Tuple[List[_Slot], int, _Slot]] = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- enqueue -----------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        day = int(entry[0] // self._width)
+        self._buckets[day % self._nbuckets].append((day, entry))
+        self._size += 1
+        self._cache = None
+        if day < self._cursor_day:
+            # The entry lands *behind* the dequeue cursor (the cursor was
+            # anchored at the pending minimum, and a new event scheduled at
+            # the current time precedes it).  Rewind so the sweep invariant
+            # — no pending entry before the cursor's day — keeps holding.
+            self._cursor_day = day
+        if self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+
+    # -- dequeue -----------------------------------------------------------
+    def peek_entry(self) -> Optional[Entry]:
+        """The minimum entry without removing it (``None`` when empty)."""
+        loc = self._locate()
+        return loc[2][1] if loc is not None else None
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimum entry (``None`` when empty)."""
+        loc = self._locate()
+        if loc is None:
+            return None
+        bucket, idx, slot = loc
+        last = bucket.pop()
+        if idx < len(bucket):
+            bucket[idx] = last  # O(1) swap-remove; intra-bucket order is moot
+        self._size -= 1
+        self._cache = None
+        if self._nbuckets > _MIN_BUCKETS and self._size < self._nbuckets // 2:
+            self._resize(self._nbuckets // 2)
+        return slot[1]
+
+    # -- internals ---------------------------------------------------------
+    def _locate(self) -> Optional[Tuple[List[_Slot], int, _Slot]]:
+        """Find the minimum slot, advancing the dequeue cursor past empty
+        buckets.  Returns ``(bucket, index, slot)`` or ``None`` if empty."""
+        if self._cache is not None:
+            return self._cache
+        if self._size == 0:
+            return None
+        nbuckets = self._nbuckets
+        day = self._cursor_day
+        i = day % nbuckets
+        # Sweep at most one full "year" of buckets from the cursor.
+        for _ in range(nbuckets):
+            bucket = self._buckets[i]
+            if bucket:
+                best: Optional[_Slot] = None
+                best_idx = -1
+                for j, slot in enumerate(bucket):
+                    # Only slots belonging to this very day count; later-
+                    # year slots share the bucket but come later.  Within a
+                    # bucket only one day per year is possible, so <= day
+                    # is == day; <= keeps the scan safe even if the rewind
+                    # invariant were ever violated.
+                    if slot[0] <= day and (best is None or slot < best):
+                        best = slot
+                        best_idx = j
+                if best is not None:
+                    self._cursor_day = day
+                    self._cache = (bucket, best_idx, best)
+                    return self._cache
+            i += 1
+            if i == nbuckets:
+                i = 0
+            day += 1
+        # A whole year is empty: jump the cursor straight to the earliest
+        # pending slot instead of sweeping year by year.
+        best = None
+        best_bucket: List[_Slot] = []
+        best_idx = -1
+        for bucket in self._buckets:
+            for j, slot in enumerate(bucket):
+                if best is None or slot < best:
+                    best = slot
+                    best_bucket = bucket
+                    best_idx = j
+        assert best is not None  # _size > 0
+        self._cursor_day = best[0]
+        self._cache = (best_bucket, best_idx, best)
+        return self._cache
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [slot[1] for bucket in self._buckets for slot in bucket]
+        self._width = self._pick_width(entries)
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        width = self._width
+        cursor = None
+        for entry in entries:
+            day = int(entry[0] // width)
+            self._buckets[day % nbuckets].append((day, entry))
+            if cursor is None or day < cursor:
+                cursor = day
+        # Re-anchor the cursor at the earliest pending entry so the next
+        # sweep starts where the action is.
+        if cursor is not None:
+            self._cursor_day = cursor
+        self._cache = None
+
+    def _pick_width(self, entries: List[Entry]) -> float:
+        """Bucket width from the observed spread of pending event times.
+
+        Aim for ~3 events per bucket-year on average: width = 3 * spread /
+        population.  Falls back to the current width when all pending events
+        share a timestamp (spread 0) — any width works then.
+        """
+        if len(entries) < 2:
+            return self._width
+        lo = min(entry[0] for entry in entries)
+        hi = max(entry[0] for entry in entries)
+        spread = hi - lo
+        if spread <= 0.0:
+            return self._width
+        return max(3.0 * spread / len(entries), _MIN_WIDTH)

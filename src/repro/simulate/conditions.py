@@ -94,10 +94,34 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
+            self._cancel_stragglers()
             return
         self._done += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._cancel_stragglers()
+
+    def _cancel_stragglers(self) -> None:
+        """Withdraw interest from already-triggered constituents we lost to.
+
+        Once the condition resolves, a constituent that triggered but has
+        not processed yet (e.g. the losing :class:`Timeout` of an
+        ``any_of`` race) would pop later and fire ``_check`` as a no-op.
+        Remove our callback and, if that leaves the entry with no waiters
+        at all, cancel it so the calendar drops it unprocessed.  *Pending*
+        constituents keep the callback: it is what defuses their failure
+        if they fail after the race is over.
+        """
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs is None or not ev.triggered:
+                continue
+            try:
+                cbs.remove(self._check)
+            except ValueError:
+                continue
+            if not cbs:
+                ev.cancel()
 
 
 class AnyOf(Condition):

@@ -43,7 +43,20 @@ __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "DEFAULT_SCHEDULER",
+    "SCHEDULERS",
 ]
+
+#: Scheduler used when ``Simulator(scheduler=None)``.  ``"heap"`` is the
+#: classic binary-heap calendar; ``"calendar"`` is the bucketed calendar
+#: queue from :mod:`repro.simulate.calendar`.  Both produce identical event
+#: order (the determinism suite asserts byte-identical traces); the heap is
+#: the default because CPython's C-implemented ``heapq`` wins at the queue
+#: sizes our scenarios reach — see docs/performance.md for measurements and
+#: when the calendar queue pays off.
+DEFAULT_SCHEDULER = "heap"
+
+SCHEDULERS = ("heap", "calendar")
 
 # Event priorities: URGENT events at the same timestamp fire before NORMAL
 # ones.  Interrupts are URGENT so that an interrupted process observes the
@@ -88,7 +101,8 @@ class Event:
     events by ``yield``\\ ing them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -99,6 +113,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._cancelled: bool = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -130,9 +145,34 @@ class Event:
         """
         self._defused = True
 
+    def cancel(self) -> None:
+        """Mark a triggered-but-unprocessed event as obsolete.
+
+        The calendar drops cancelled entries lazily when they reach the
+        head of the queue — their callbacks never run and they never count
+        as unhandled failures.  Used for stragglers nobody waits on any
+        more, e.g. the losing :class:`Timeout` of an ``any_of`` race.
+
+        Cancellation is *revocable*: it only takes effect while the event
+        has no callbacks.  If a new waiter attaches before the entry pops
+        (someone late ``yield``\\ s the event), the event processes
+        normally — cancelling must never deadlock a legitimate waiter.
+        """
+        self._cancelled = True
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        return self.succeed_later(value, 0.0)
+        # Open-coded succeed_later(value, 0.0): this is the hottest trigger
+        # path in the kernel (store grants, flow completions, process
+        # termination all land here), so skip the delegation and the
+        # delay-validation branch.
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        sim = self.sim
+        sim._queue.push((sim._now, NORMAL, next(sim._seq), self))
+        return self
 
     def succeed_later(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger success ``delay`` time units from now (0 = this timestep).
@@ -233,14 +273,19 @@ class Process(Event):
     other simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "_wait_token", "__weakref__")
+    __slots__ = ("_generator", "_target", "_wait_token", "_wait_attached",
+                 "__weakref__")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator — did you forget to call it?")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
-        self._generator = generator
+        self._generator: Optional[Generator] = generator
         self._target: Optional[Event] = None
+        #: The ``(event, callback)`` pair of the current wait — lets an
+        #: abandoned wait (interrupt landed first) be detached eagerly
+        #: instead of leaving a stale no-op callback in the calendar.
+        self._wait_attached: Optional[tuple] = None
         # Monotonic token distinguishing successive waits; a stale callback
         # (from an event the process stopped waiting on after an interrupt)
         # carries an old token and is ignored.
@@ -284,8 +329,24 @@ class Process(Event):
             return
         # Consume the current wait: any other callback still pointing at it
         # (e.g. the event we were waiting on when an interrupt landed) is
-        # now stale and will fail the token check above.
+        # now stale and will fail the token check above.  Detach it eagerly
+        # — and if that leaves an already-triggered straggler with no
+        # waiters (a timeout we no longer care about), cancel it so the
+        # calendar drops it instead of firing a no-op.
         self._wait_token += 1
+        attached = self._wait_attached
+        if attached is not None:
+            self._wait_attached = None
+            waited, stale_cb = attached
+            cbs = waited.callbacks
+            if waited is not event and cbs:
+                try:
+                    cbs.remove(stale_cb)
+                except ValueError:
+                    pass
+                else:
+                    if not cbs and waited.triggered:
+                        waited.cancel()
         self._target = None
         self.sim._active = self
         try:
@@ -296,12 +357,17 @@ class Process(Event):
                 result = self._generator.throw(event._value)
         except StopIteration as stop:
             self.sim._active = None
+            # Drop the generator: its frame holds references back into the
+            # event graph (closures over self), forming cycles that pile up
+            # as cyclic garbage across repeated runs in one interpreter.
+            self._generator = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self.sim._active = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            self._generator = None
             self.fail(exc)
             return
         self.sim._active = None
@@ -325,11 +391,42 @@ class Process(Event):
                 bridge._defused = True
                 result._defused = True
             tok = self._wait_token
-            bridge.callbacks = [lambda ev, tok=tok: self._step(ev, tok)]
+            cb = lambda ev, tok=tok: self._step(ev, tok)  # noqa: E731
+            bridge.callbacks = [cb]
+            self._wait_attached = (bridge, cb)
             self.sim._schedule(bridge, URGENT, 0.0)
         else:
             tok = self._wait_token
-            result.callbacks.append(lambda ev, tok=tok: self._step(ev, tok))
+            cb = lambda ev, tok=tok: self._step(ev, tok)  # noqa: E731
+            result.callbacks.append(cb)
+            self._wait_attached = (result, cb)
+
+
+class _HeapQueue:
+    """The classic binary-heap calendar behind the pluggable queue surface.
+
+    Thin adapter over :mod:`heapq`; entries are ``(time, priority, seq,
+    event)`` tuples, identical to :class:`repro.simulate.calendar.
+    CalendarQueue` so the two are drop-in interchangeable.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: tuple) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def peek_entry(self) -> Optional[tuple]:
+        heap = self._heap
+        return heap[0] if heap else None
+
+    def pop(self) -> Optional[tuple]:
+        return heapq.heappop(self._heap) if self._heap else None
 
 
 class Simulator:
@@ -349,12 +446,31 @@ class Simulator:
         components create instruments through ``sim.metrics``.  When
         omitted, the shared inert registry keeps instrumented hot paths
         at no-op cost.
+    scheduler:
+        ``"heap"`` (binary heap) or ``"calendar"`` (bucketed calendar
+        queue); ``None`` uses :data:`DEFAULT_SCHEDULER`.  Event order is
+        identical either way.
     """
 
     def __init__(self, start: float = 0.0, trace: Any = None,
-                 metrics: Any = None):
+                 metrics: Any = None, scheduler: Optional[str] = None):
         self._now = float(start)
-        self._queue: list = []
+        name = scheduler if scheduler is not None else DEFAULT_SCHEDULER
+        if name == "heap":
+            self._queue: Any = _HeapQueue()
+        elif name == "calendar":
+            from .calendar import CalendarQueue
+
+            self._queue = CalendarQueue(start=self._now)
+        else:
+            raise ValueError(
+                f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")
+        self.scheduler = name
+        #: Events whose callbacks ran / cancelled entries dropped unpopped.
+        #: Plain counters, cheap enough to keep on the hot path; the
+        #: events_per_sec bench family pins them as deterministic results.
+        self.events_processed = 0
+        self.events_cancelled = 0
         self._seq = count()
         self._active: Optional[Process] = None
         self._unhandled: list = []
@@ -462,21 +578,51 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        self._queue.push((self._now + delay, priority, next(self._seq), event))
+
+    def _peek_live(self) -> Optional[tuple]:
+        """Head entry of the calendar, dropping cancelled stragglers.
+
+        A cancelled entry with no callbacks is removed without running
+        anything; it is marked processed so a late waiter that ``yield``\\ s
+        it afterwards still resumes through the already-processed bridge.
+        """
+        queue = self._queue
+        while True:
+            entry = queue.peek_entry()
+            if entry is None:
+                return None
+            event = entry[3]
+            if event._cancelled and not event.callbacks:
+                queue.pop()
+                event.callbacks = None
+                self.events_cancelled += 1
+                continue
+            return entry
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        entry = self._peek_live()
+        return entry[0] if entry is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
+        entry = self._peek_live()
+        if entry is None:
             raise SimulationError("step() on an empty calendar")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._queue.pop()
+        when, _prio, _seq, event = entry
         if when < self._now:
             raise SimulationError(f"time went backwards: {when} < {self._now}")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        if callbacks is None:
+            raise SimulationError(
+                f"{event!r} popped with callbacks already consumed — the "
+                "event was processed once and re-scheduled; an event may "
+                "only be scheduled once")
+        event.callbacks = None
+        self.events_processed += 1
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
@@ -505,11 +651,47 @@ class Simulator:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
+        # The loop below is step() open-coded with the queue methods bound
+        # to locals: one dispatch per event instead of three nested calls
+        # (peek, step, peek again).  Any semantic change here must be
+        # mirrored in step() — the kernel contract tests run both paths.
+        queue = self._queue
+        peek_entry = queue.peek_entry
+        queue_pop = queue.pop
+        unhandled = self._unhandled
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
-                if self._unhandled:
-                    ev = self._unhandled[0]
+            while True:
+                entry = peek_entry()
+                if entry is None:
+                    break
+                event = entry[3]
+                if event._cancelled and not event.callbacks:
+                    queue_pop()
+                    event.callbacks = None
+                    self.events_cancelled += 1
+                    continue
+                when = entry[0]
+                if when > stop_at:
+                    break
+                queue_pop()
+                if when < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {when} < {self._now}")
+                self._now = when
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(
+                        f"{event!r} popped with callbacks already consumed — "
+                        "the event was processed once and re-scheduled; an "
+                        "event may only be scheduled once")
+                event.callbacks = None
+                self.events_processed += 1
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    unhandled.append(event)
+                if unhandled:
+                    ev = unhandled[0]
                     raise SimulationError(
                         f"unhandled failure in {ev!r}: {ev._value!r}"
                     ) from (ev._value if isinstance(ev._value, BaseException) else None)

@@ -163,8 +163,19 @@ class Store(Generic[T]):
 
     # ------------------------------------------------------------------
     def _insert(self, item: T) -> None:
+        # Fast path for the overwhelmingly common single-item put.  After
+        # any drain, no queued getter matches any stored item (else it
+        # would have been granted), so only the *new* item can satisfy a
+        # waiter: offer it to the getters in FIFO order instead of
+        # re-scanning every stored item for every getter.  Filters must be
+        # pure (they are — they close over tags/sizes), so a getter that
+        # rejected the store's items before still rejects them now.
+        for idx, ev in enumerate(self._getters):
+            if ev.filter is None or ev.filter(item):
+                del self._getters[idx]
+                ev.succeed(item)
+                return
         self.items.append(item)
-        self._drain_getters()
 
     def _try_get(self, ev: _StoreGet) -> None:
         for idx, item in enumerate(self.items):

@@ -33,7 +33,6 @@ process boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from itertools import count
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -41,13 +40,36 @@ __all__ = ["TraceRecord", "Tracer", "NullTracer", "Span", "TraceSubscription",
            "NULL_TRACER"]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One timestamped observation."""
+    """One timestamped observation.
 
-    time: float
-    kind: str
-    fields: Tuple[Tuple[str, Any], ...]
+    A plain ``__slots__`` class rather than a dataclass: ``record()`` is
+    the single hottest call of a traced run, and a frozen dataclass pays
+    an ``object.__setattr__`` per field on every construction.  Equality
+    and hashing still follow value semantics over ``(time, kind,
+    fields)``, like the frozen dataclass it replaced.
+    """
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str,
+                 fields: Tuple[Tuple[str, Any], ...]):
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time={self.time!r}, kind={self.kind!r}, "
+                f"fields={self.fields!r})")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind
+                and self.fields == other.fields)
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.kind, self.fields))
 
     def __getitem__(self, key: str) -> Any:
         for k, v in self.fields:
@@ -169,7 +191,11 @@ class Tracer:
 
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self.records: List[TraceRecord] = []
+        #: Kind index, built lazily: ``record()`` only appends, and the
+        #: retrieval APIs fold any records appended since the last lookup
+        #: into the index.  Keeps the per-record hot path to one append.
         self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._indexed_upto = 0
         self._subscribers: List[TraceSubscription] = []
         #: Exceptions raised (and contained) by live subscribers, as
         #: ``(record, subscription, exception)`` — a bad callback is
@@ -220,7 +246,6 @@ class Tracer:
     def record(self, time: float, kind: str, **fields: Any) -> None:
         rec = TraceRecord(time, kind, tuple(fields.items()))
         self.records.append(rec)
-        self._by_kind.setdefault(kind, []).append(rec)
         if self._subscribers:
             self._notify(rec)
 
@@ -289,11 +314,25 @@ class Tracer:
             pass
 
     # -- retrieval ----------------------------------------------------------
+    def _index(self) -> Dict[str, List[TraceRecord]]:
+        """Fold not-yet-indexed records into the kind index and return it."""
+        records = self.records
+        upto = self._indexed_upto
+        if upto < len(records):
+            by_kind = self._by_kind
+            for rec in records[upto:]:
+                bucket = by_kind.get(rec.kind)
+                if bucket is None:
+                    bucket = by_kind[rec.kind] = []
+                bucket.append(rec)
+            self._indexed_upto = len(records)
+        return self._by_kind
+
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        return list(self._by_kind.get(kind, []))
+        return list(self._index().get(kind, []))
 
     def kinds(self) -> List[str]:
-        return sorted(self._by_kind)
+        return sorted(self._index())
 
     def __len__(self) -> int:
         return len(self.records)
@@ -302,7 +341,7 @@ class Tracer:
         return iter(self.records)
 
     def between(self, t0: float, t1: float, kind: Optional[str] = None) -> List[TraceRecord]:
-        src = self._by_kind.get(kind, []) if kind is not None else self.records
+        src = self._index().get(kind, []) if kind is not None else self.records
         return [r for r in src if t0 <= r.time <= t1]
 
 

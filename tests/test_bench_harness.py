@@ -49,6 +49,22 @@ def test_compare_to_baselines_detects_drift_and_missing_keys():
     assert any("-50.0%" in p for p in problems)
 
 
+def test_compare_to_baselines_near_zero_uses_absolute_floor():
+    """Regression: a near-zero baseline made the relative-drift division
+    meaningless (float dust read as a million-percent regression).  Values
+    whose baseline sits within the absolute floor are compared by absolute
+    delta instead."""
+    baselines = {"benches": {"fig4": {"dust": 0.0, "tiny": 1e-12}}}
+    # Float dust on a zero baseline passes.
+    assert compare_to_baselines({"fig4": {"dust": 2e-10,
+                                          "tiny": 0.0}}, baselines) == []
+    # A real move off the zero baseline still fails, with the floor named.
+    problems = compare_to_baselines({"fig4": {"dust": 0.5,
+                                              "tiny": 1e-12}}, baselines)
+    assert len(problems) == 1
+    assert "absolute floor" in problems[0] and "dust" in problems[0]
+
+
 def test_compare_to_baselines_tolerance_override_and_unrun_bench():
     baselines = {"benches": {"fig4": {"a": 10.0}, "fig7": {"z": 1.0}}}
     measured = {"fig4": {"a": 10.4}}  # fig7 not run this invocation: OK

@@ -1,0 +1,68 @@
+"""Cross-implementation determinism: one scenario, four kernel configs.
+
+The heap and calendar schedulers must produce *byte-identical* traces, and
+so must the scalar and vectorized fluid solvers — same seed, same JSONL,
+down to the last bit of every float.  This is the contract that makes the
+alternative implementations safe to swap: any divergence, however small,
+fails here before it can silently skew a benchmark.
+"""
+
+import json
+from itertools import count
+
+import pytest
+
+import repro.blcr.image as blcr_image
+import repro.cluster.osproc as osproc
+import repro.core.buffer_manager as buffer_manager
+import repro.ftb.events as ftb_events
+import repro.mpi.transport as transport
+import repro.network.fluid as fluid
+import repro.network.qp as qp
+from repro.scenario import Scenario
+from repro.simulate import Tracer
+
+
+def _reset_global_counters(monkeypatch):
+    """Rewind the process-global allocation counters (QP numbers, image
+    ids, PIDs, ...) so back-to-back runs in one interpreter label their
+    objects identically.  The ids are allocation bookkeeping, not
+    simulation state — but they appear in trace fields, so byte-exact
+    comparison needs them pinned."""
+    monkeypatch.setattr(qp.QueuePair, "_ids", count())
+    monkeypatch.setattr(ftb_events, "_seq", count())
+    monkeypatch.setattr(blcr_image, "_image_ids", count(start=1))
+    monkeypatch.setattr(transport, "_wr_ids", count())
+    monkeypatch.setattr(osproc, "_pids", count(start=1000))
+    monkeypatch.setattr(buffer_manager, "_chunk_seq", count())
+
+
+def _trace_jsonl(scheduler, solver, monkeypatch):
+    _reset_global_counters(monkeypatch)
+    monkeypatch.setattr(fluid, "DEFAULT_SOLVER", solver)
+    tracer = Tracer()
+    sc = Scenario.build(app="LU.C", nprocs=64, n_compute=8, n_spare=1,
+                        iterations=40, seed=0, trace=tracer,
+                        scheduler=scheduler)
+    report = sc.run_migration("node3", at=5.0)
+    lines = "\n".join(json.dumps(rec.as_dict(), sort_keys=True)
+                      for rec in tracer.records)
+    return report.total_seconds, lines
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+@pytest.mark.parametrize("solver", ["scalar", "vector"])
+def test_fig4_trace_is_identical_across_kernel_configs(
+        scheduler, solver, monkeypatch):
+    """Every (scheduler, solver) combination replays the Fig. 4 LU.C
+    migration to the same byte-exact trace as the reference config."""
+    ref_total, ref_lines = _trace_jsonl("heap", "scalar", monkeypatch)
+    total, lines = _trace_jsonl(scheduler, solver, monkeypatch)
+    assert total == ref_total
+    if lines != ref_lines:
+        got = lines.splitlines()
+        want = ref_lines.splitlines()
+        for i, (a, b) in enumerate(zip(got, want)):
+            assert a == b, f"trace diverges at record {i}"
+        assert len(got) == len(want)
+    assert lines == ref_lines
