@@ -27,6 +27,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import (
+    atomic_write,
     build_span_dag,
     critical_path,
     cr_cycle_breakdown,
@@ -429,7 +430,8 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
                 baselines_path: Optional[str] = None,
                 update_baselines: bool = False,
                 tolerance: Optional[float] = None,
-                restart_mode: str = "file"
+                restart_mode: str = "file",
+                progress_cb: Optional[Callable[[str], None]] = None
                 ) -> Tuple[List[str], List[str], str]:
     """Run benches, write ``BENCH_<name>.json``, diff against baselines.
 
@@ -437,6 +439,8 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
     A ``restart_mode`` other than ``"file"`` changes what the migration
     benches measure, so their artifacts are written but the baselines
     diff (calibrated for file mode) is skipped with a note.
+    ``progress_cb`` (if given) is called with each bench's name just
+    before it runs — the CLI's ``--progress`` heartbeat.
     """
     names = list(names) if names else list(BENCHES)
     unknown = [n for n in names if n not in BENCHES]
@@ -450,9 +454,11 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
     measured: Dict[str, Dict[str, float]] = {}
     lines: List[str] = []
     for name in names:
+        if progress_cb is not None:
+            progress_cb(name)
         artifact = run_bench(name, restart_mode=restart_mode)
         path = os.path.join(out_dir, f"BENCH_{name}.json")
-        with open(path, "w", encoding="utf-8") as fh:
+        with atomic_write(path) as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True, default=str)
         paths.append(path)
         measured[name] = flatten_results(artifact["results"])
@@ -474,7 +480,7 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
         doc = {"schema_version": BENCH_SCHEMA_VERSION,
                "default_rel_tolerance": DEFAULT_REL_TOLERANCE,
                "benches": {k: benches[k] for k in sorted(benches)}}
-        with open(baselines_path, "w", encoding="utf-8") as fh:
+        with atomic_write(baselines_path) as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         lines.append(f"updated baselines: {baselines_path}")

@@ -27,13 +27,20 @@ from .critical_path import (
     render_blame,
     render_waterfall,
 )
+from .openmetrics import (
+    openmetrics_snapshot,
+    parse_openmetrics,
+    write_openmetrics,
+)
 from .report import fmt_seconds, render_stacked, render_table
 from .timeline import PhaseInterval, extract_phases, render_timeline
 from .trace_export import (
+    atomic_write,
     chrome_trace,
     metrics_payload,
     read_jsonl,
     summarize_trace,
+    telemetry_series,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
@@ -64,6 +71,11 @@ __all__ = [
     "write_metrics",
     "metrics_payload",
     "summarize_trace",
+    "atomic_write",
+    "telemetry_series",
+    "openmetrics_snapshot",
+    "write_openmetrics",
+    "parse_openmetrics",
     "SpanNode",
     "FlowEdge",
     "SpanDAG",

@@ -1,0 +1,146 @@
+"""OpenMetrics text exposition of a run's final metric state.
+
+A third serialization next to ``metrics.json`` and the Chrome counter
+tracks: the `OpenMetrics text format
+<https://prometheus.io/docs/specifications/om/open_metrics_spec/>`_ that
+Prometheus-family scrapers ingest directly.  The snapshot is
+end-of-run state, not a live scrape endpoint — it exists so a fleet of
+archived runs can be loaded into any off-the-shelf metrics backend
+without bespoke parsing.
+
+* counters -> ``<name>_total`` with ``# TYPE ... counter``;
+* gauges -> plain samples with ``# TYPE ... gauge``;
+* histograms -> ``_bucket{le="..."}`` cumulative series plus ``_count``
+  and ``_sum``;
+* telemetry probe series (optional) -> gauges named
+  ``telemetry_<series>`` carrying the *last* sampled value, with the
+  sample count as a companion ``_samples`` gauge.
+
+Instrument names are sanitized to the ``[a-zA-Z_][a-zA-Z0-9_]*`` charset
+(dots and dashes become underscores).  :func:`parse_openmetrics` is the
+matching validator: the CI ``report-smoke`` job round-trips every
+snapshot through it, so the emitter cannot silently drift off-spec.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .trace_export import atomic_write
+
+__all__ = ["openmetrics_snapshot", "write_openmetrics", "parse_openmetrics"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE_LINE = re.compile(
+    r"([a-zA-Z_][a-zA-Z0-9_]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|[+-]?Inf|NaN)\Z")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    safe = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not re.match(r"[a-zA-Z_]", safe):
+        safe = "_" + safe
+    return safe + suffix
+
+
+def _fmt(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v))
+
+
+def openmetrics_snapshot(metrics=None, telemetry=None) -> str:
+    """Render the registry (and optional probe) as OpenMetrics text."""
+    lines: List[str] = []
+
+    def header(name: str, mtype: str, unit: str, help_text: str) -> None:
+        lines.append(f"# TYPE {name} {mtype}")
+        if unit:
+            lines.append(f"# UNIT {name} {_metric_name(unit)}")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+
+    if metrics is not None:
+        for raw_name in metrics.names():
+            inst = metrics.get(raw_name)
+            if inst.kind == "counter":
+                name = _metric_name(raw_name)
+                header(name, "counter", inst.unit,
+                       inst.help or f"counter {raw_name}")
+                lines.append(f"{name}_total {_fmt(inst.value)}")
+            elif inst.kind == "gauge":
+                name = _metric_name(raw_name)
+                header(name, "gauge", inst.unit,
+                       inst.help or f"gauge {raw_name}")
+                lines.append(f"{name} {_fmt(inst.value)}")
+            elif inst.kind == "histogram":
+                name = _metric_name(raw_name)
+                header(name, "histogram", inst.unit,
+                       inst.help or f"histogram {raw_name}")
+                cum = 0
+                for bound, n in zip(list(inst.bounds) + [float("inf")],
+                                    inst.bucket_counts):
+                    cum += n
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(f'{name}_bucket{{le="{le}"}} {cum}')
+                lines.append(f"{name}_count {inst.count}")
+                lines.append(f"{name}_sum {_fmt(inst.total)}")
+    if telemetry is not None:
+        for series in telemetry:
+            name = _metric_name(f"telemetry_{series.name}")
+            stats = series.stats()
+            header(name, "gauge", series.unit,
+                   f"last probe sample of time-series {series.name}")
+            lines.append(f"{name} {_fmt(stats['last'])}")
+            lines.append(f"# TYPE {name}_samples gauge")
+            lines.append(f"{name}_samples {int(stats['n'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, metrics=None, telemetry=None) -> int:
+    """Write the snapshot atomically; returns the number of sample lines."""
+    text = openmetrics_snapshot(metrics=metrics, telemetry=telemetry)
+    with atomic_write(path) as fh:
+        fh.write(text)
+    return sum(1 for line in text.splitlines()
+               if line and not line.startswith("#"))
+
+
+def parse_openmetrics(text: str) -> Dict[str, List[Tuple[Optional[str],
+                                                         float]]]:
+    """Strict-enough parser for our own exposition: returns
+    ``{sample name: [(labels or None, value), ...]}``.
+
+    Raises ``ValueError`` on a malformed line, a missing ``# EOF``
+    terminator, a sample whose family has no ``# TYPE``, or an invalid
+    metric name — the failure modes an emitter bug would produce.
+    """
+    samples: Dict[str, List[Tuple[Optional[str], float]]] = {}
+    typed: set = set()
+    body = text.splitlines()
+    if not body or body[-1] != "# EOF":
+        raise ValueError("snapshot does not end with '# EOF'")
+    for i, line in enumerate(body[:-1], start=1):
+        if not line.strip():
+            raise ValueError(f"line {i}: blank line inside exposition")
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) < 3 or parts[1] not in ("TYPE", "UNIT", "HELP"):
+                raise ValueError(f"line {i}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                if not _NAME_OK.match(parts[2]):
+                    raise ValueError(f"line {i}: bad metric name {parts[2]!r}")
+                typed.add(parts[2])
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"line {i}: malformed sample {line!r}")
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        family = re.sub(r"_(total|count|sum|bucket|samples)\Z", "", name)
+        if family not in typed and name not in typed:
+            raise ValueError(f"line {i}: sample {name!r} has no # TYPE")
+        samples.setdefault(name, []).append((labels, float(value)))
+    return samples

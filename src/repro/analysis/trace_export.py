@@ -17,15 +17,46 @@ Two serializations of the same observability data:
   ``M`` metadata events.
 
 Sim time is seconds; trace-event ``ts``/``dur`` are microseconds.
+
+All on-disk artifacts are written through :func:`atomic_write` — the
+payload lands in a same-directory temp file that is renamed over the
+target only once fully flushed, so an interrupted run can truncate
+nothing: CI either diffs the previous complete artifact or a new
+complete one, never half a JSON document.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Tuple
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, TextIO, Tuple
 
-__all__ = ["write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",
-           "metrics_payload", "write_metrics", "summarize_trace"]
+__all__ = ["atomic_write", "write_jsonl", "read_jsonl", "chrome_trace",
+           "write_chrome_trace", "metrics_payload", "write_metrics",
+           "telemetry_series", "summarize_trace"]
+
+
+@contextmanager
+def atomic_write(path: str) -> Iterator[TextIO]:
+    """Open ``<path>.tmp.<pid>`` for writing; rename over ``path`` on
+    success, unlink on failure.  ``os.replace`` is atomic on POSIX and
+    Windows, and the temp file lives in the target directory so the
+    rename never crosses a filesystem boundary."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    fh = open(tmp, "w", encoding="utf-8")
+    try:
+        yield fh
+        fh.flush()
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 #: kind prefix -> Chrome trace category (drives Perfetto's track colors).
 _CATEGORIES = (
@@ -59,7 +90,7 @@ def _category(kind: str) -> str:
 def write_jsonl(trace, path: str) -> int:
     """Write every record as one JSON line; returns the number of rows."""
     n = 0
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         for rec in trace:
             fh.write(json.dumps(rec.as_dict(), default=str))
             fh.write("\n")
@@ -142,12 +173,26 @@ def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
     #: anchoring flow endpoints inside their slices.
     span_slices: Dict[int, Tuple[float, float, int, int]] = {}
     flow_links: List[Tuple[float, int, int, str]] = []
+    telemetry_pid: List[int] = []
     for rec in trace:
         fields = dict(rec.fields)
         if rec.kind == "flow.link":
             flow_links.append((rec.time, fields.get("src"),
                                fields.get("dst"),
                                str(fields.get("edge", "flow"))))
+            continue
+        if rec.kind == "telemetry.sample":
+            # Probe samples become counter tracks, exactly like registry
+            # sample trails — so an archived JSONL reloads into the same
+            # Perfetto view as the live run.
+            if not telemetry_pid:
+                telemetry_pid.append(pids("telemetry"))
+                seen_lanes[(telemetry_pid[0], 0)] = ("telemetry", "main")
+            events.append({
+                "name": str(fields.get("metric")), "cat": "telemetry",
+                "ph": "C", "ts": rec.time * 1e6, "pid": telemetry_pid[0],
+                "args": {"value": fields.get("value")},
+            })
             continue
         span_id = fields.get("span")
         if span_id is not None and rec.kind.endswith(".start"):
@@ -237,7 +282,7 @@ def chrome_trace(trace, metrics=None) -> Dict[str, Any]:
 def write_chrome_trace(trace, path: str, metrics=None) -> int:
     """Write the Chrome trace JSON; returns the number of trace events."""
     doc = chrome_trace(trace, metrics=metrics)
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(doc, fh, default=str)
     return len(doc["traceEvents"])
 
@@ -249,9 +294,23 @@ def metrics_payload(metrics) -> Dict[str, Any]:
 
 def write_metrics(metrics, path: str) -> int:
     payload = metrics_payload(metrics)
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
     return len(payload)
+
+
+def telemetry_series(trace) -> Dict[str, List[Tuple[float, float]]]:
+    """``{metric: [(t, value), ...]}`` from a trace's ``telemetry.sample``
+    records — the probe's time-series recovered from a live tracer or a
+    ``read_jsonl()`` reload, in record order (sample order)."""
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for rec in trace.of_kind("telemetry.sample"):
+        metric = rec.get("metric")
+        if metric is None:
+            continue
+        out.setdefault(str(metric), []).append(
+            (rec.time, float(rec.get("value", 0.0))))
+    return out
 
 
 def summarize_trace(trace, metrics=None) -> str:

@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import (
+    atomic_write,
     build_span_dag,
     cr_cycle_breakdown,
     critical_path,
@@ -37,13 +38,29 @@ from .analysis import (
     simulate_policy,
     speedup,
     summarize_trace,
+    telemetry_series,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
+    write_openmetrics,
+)
+from .obs import (
+    ProgressReporter,
+    RunManifest,
+    diff_runs,
+    list_runs,
+    load_manifest,
+    render_run_report,
+    report_to_html,
+    resolve_runs_dir,
+    start_clock,
+    stop_clock,
+    write_manifest,
 )
 from .params import NPB_TABLE
 from .scenario import Scenario
 from .simulate.metrics import MetricsRegistry
+from .simulate.telemetry import TelemetryProbe
 from .simulate.trace import Tracer
 
 __all__ = ["main", "build_parser"]
@@ -62,8 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=8)
         p.add_argument("--seed", type=int, default=0)
 
+    def registry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="run-registry directory (default: "
+                            "$REPRO_RUNS_DIR or ./runs)")
+        p.add_argument("--no-manifest", action="store_true",
+                       help="do not record this run in the run registry")
+        p.add_argument("--progress", action="store_true",
+                       help="print a wall-clock heartbeat to stderr while "
+                            "the run is in flight")
+
     mig = sub.add_parser("migrate", help="one migration cycle + timeline")
     common(mig)
+    registry_flags(mig)
     mig.add_argument("--source", default="node3")
     mig.add_argument("--transport", default="rdma",
                      choices=["rdma", "ipoib", "tcp", "staging"])
@@ -76,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser("compare",
                           help="migration vs CR(ext3) vs CR(PVFS) (Fig. 7)")
     common(cmp_)
+    registry_flags(cmp_)
     cmp_.add_argument("--restart-mode", default="file",
                       choices=["file", "memory"],
                       help="migration restart path: file barrier or "
@@ -127,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the benchmark harness: write BENCH_*.json and diff "
              "against benchmarks/baselines.json")
+    registry_flags(bench)
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json artifacts")
     bench.add_argument("--only", "--family", nargs="+", default=None,
@@ -183,6 +213,42 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-emitter-coverage", action="store_true",
                       help="skip the schema emitter-coverage cross-check")
 
+    rep = sub.add_parser(
+        "report",
+        help="render a self-contained run report: waterfall, blame, "
+             "timeline and telemetry sparklines (markdown or HTML)")
+    common(rep)
+    registry_flags(rep)
+    rep.add_argument("--source", default="node3")
+    rep.add_argument("--transport", default="rdma",
+                     choices=["rdma", "ipoib", "tcp", "staging"])
+    rep.add_argument("--restart-mode", default="file",
+                     choices=["file", "memory"])
+    rep.add_argument("--from-run", default=None, metavar="RUN_ID",
+                     help="render from a recorded run's manifest/artifacts "
+                          "instead of simulating")
+    rep.add_argument("--out", default=None, metavar="PATH",
+                     help="write the markdown report here (default: stdout)")
+    rep.add_argument("--html", default=None, metavar="PATH",
+                     help="also write a self-contained HTML rendering")
+    rep.add_argument("--openmetrics", default=None, metavar="PATH",
+                     help="also write an OpenMetrics text snapshot of the "
+                          "final metric state")
+    rep.add_argument("--telemetry-interval", type=float, default=0.25,
+                     metavar="SECONDS",
+                     help="probe sampling cadence in sim seconds "
+                          "(default 0.25)")
+
+    runs = sub.add_parser(
+        "runs", help="run registry: list recorded runs, show one, or diff "
+                     "two without re-running")
+    runs.add_argument("action", choices=["list", "show", "diff"])
+    runs.add_argument("ids", nargs="*", metavar="RUN_ID",
+                      help="one id for show, two for diff")
+    runs.add_argument("--runs-dir", default=None, metavar="DIR",
+                      help="run-registry directory (default: "
+                           "$REPRO_RUNS_DIR or ./runs)")
+
     sub.add_parser("validate",
                    help="re-measure headline numbers and diff vs the paper")
     return parser
@@ -197,34 +263,125 @@ def _trace_file_error(path: str) -> Optional[str]:
     return None
 
 
-def _cmd_migrate(args) -> str:
+def _out_path_error(path: str, flag: str) -> Optional[str]:
+    """One-line error when an output *file* path cannot be written.
+
+    Checked up front, before the (possibly minutes-long) simulation runs,
+    so a typo'd path fails in milliseconds with exit code 2 instead of
+    discarding a finished run.
+    """
+    if os.path.isdir(path):
+        return f"error: {flag} path is a directory: {path}"
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        return f"error: {flag} directory does not exist: {parent}"
+    if not os.access(parent, os.W_OK):
+        return f"error: {flag} directory is not writable: {parent}"
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        return f"error: {flag} file is not writable: {path}"
+    return None
+
+
+def _out_dir_error(path: str, flag: str) -> Optional[str]:
+    """Like :func:`_out_path_error` for output *directories* (creatable)."""
+    if os.path.isfile(path):
+        return f"error: {flag} path is a file, not a directory: {path}"
+    probe = os.path.abspath(path)
+    while not os.path.isdir(probe):
+        nxt = os.path.dirname(probe)
+        if nxt == probe:
+            break
+        probe = nxt
+    if not os.access(probe, os.W_OK):
+        return f"error: {flag} directory is not writable: {probe}"
+    return None
+
+
+#: argparse dest names that are run plumbing, not experiment configuration
+#: — excluded from the manifest's config dict (and hence its hash).
+_NON_CONFIG_ARGS = frozenset({
+    "command", "runs_dir", "no_manifest", "progress", "from_run",
+    "trace_out", "profile_out", "out", "html", "openmetrics", "out_dir",
+    "baselines", "update_baselines",
+})
+
+
+def _run_config(args) -> dict:
+    return {k: v for k, v in sorted(vars(args).items())
+            if k not in _NON_CONFIG_ARGS}
+
+
+def _record_run(args, command: str, results: dict,
+                artifacts: List[str], wall_seconds: float,
+                lines: List[str]) -> Optional[RunManifest]:
+    """Write this run's manifest (unless ``--no-manifest``); note it."""
+    if getattr(args, "no_manifest", False):
+        return None
+    manifest = RunManifest.new(command, _run_config(args),
+                               seed=getattr(args, "seed", None))
+    manifest.wall_seconds = wall_seconds
+    manifest.results = results
+    manifest.artifacts = [os.path.abspath(a) for a in artifacts]
+    path = write_manifest(manifest, getattr(args, "runs_dir", None))
+    lines.append(f"recorded run {manifest.run_id} ({path})")
+    return manifest
+
+
+def _cmd_migrate(args):
+    if args.trace_out:
+        err = _out_path_error(args.trace_out, "--trace-out")
+        if err is not None:
+            return err, 2
     tracer = Tracer()
     sc = Scenario.build(app=args.app, nprocs=args.nprocs,
                         n_compute=args.nodes, n_spare=1, iterations=40,
                         seed=args.seed, transport=args.transport,
                         restart_mode=args.restart_mode, trace=tracer)
+    reporter = None
+    if args.progress:
+        reporter = ProgressReporter(label="migrate")
+        sc.sim.attach_probe(TelemetryProbe(on_sample=reporter.on_sample))
+    t0 = start_clock()
     report = sc.run_migration(args.source, at=5.0)
+    wall = stop_clock(t0)
+    if reporter is not None:
+        reporter.done(f"{sc.sim.events_processed} events")
+    phases = migration_phase_breakdown(report)
     lines = [render_table(
         f"Migration {args.source} -> {report.target} ({args.app}.{args.nprocs}, "
         f"{args.transport}/{args.restart_mode})",
-        {"phases": migration_phase_breakdown(report)})]
+        {"phases": phases})]
     lines.append(render_timeline(extract_phases(tracer), title="phase timeline"))
     lines.append(f"data migrated: {report.bytes_migrated / 1e6:.1f} MB in "
                  f"{report.chunks_transferred} chunks")
+    artifacts: List[str] = []
     if args.trace_out:
         n_rows = write_jsonl(tracer, args.trace_out)
         lines.append(f"wrote {args.trace_out} ({n_rows} records)")
+        artifacts.append(args.trace_out)
+    _record_run(args, "migrate",
+                {"phases": phases,
+                 "total_seconds": report.total_seconds,
+                 "bytes_migrated": report.bytes_migrated,
+                 "chunks_transferred": report.chunks_transferred},
+                artifacts, wall, lines)
     return "\n".join(lines)
 
 
 def _cmd_compare(args) -> str:
+    reporter = ProgressReporter(label="compare") if args.progress else None
+    t0 = start_clock()
     mig_sc = Scenario.build(app=args.app, nprocs=args.nprocs,
                             n_compute=args.nodes, n_spare=1, iterations=40,
                             seed=args.seed, restart_mode=args.restart_mode)
+    if reporter is not None:
+        mig_sc.sim.attach_probe(TelemetryProbe(on_sample=reporter.on_sample))
     source = f"node{args.nodes - 1}"
     migration = mig_sc.run_migration(source, at=5.0)
     rows = {"Migration": migration_cycle_breakdown(migration)}
     for dest in ("ext3", "pvfs"):
+        if reporter is not None:
+            reporter.tick(detail=f"CR({dest})")
         sc = Scenario.build(app=args.app, nprocs=args.nprocs,
                             n_compute=args.nodes, n_spare=1, iterations=40,
                             seed=args.seed, with_pvfs=True)
@@ -238,12 +395,21 @@ def _cmd_compare(args) -> str:
 
         ckpt, restart = sc.sim.run(until=sc.sim.spawn(drive(sc.sim)))
         rows[f"CR({dest})"] = cr_cycle_breakdown(ckpt, restart)
+    wall = stop_clock(t0)
+    if reporter is not None:
+        reporter.done()
     out = [render_table(
         f"Failure handling, {args.app}.{args.nprocs}, "
         f"restart={args.restart_mode} (Fig. 7)", rows)]
+    speedups = {}
     for dest in ("ext3", "pvfs"):
         s = speedup(rows[f"CR({dest})"]["Total"], migration.total_seconds)
+        speedups[dest] = s
         out.append(f"speedup over CR({dest}): {s:.2f}x")
+    _record_run(args, "compare",
+                {"cycles": rows, "speedup": speedups,
+                 "migration_total_seconds": migration.total_seconds},
+                [], wall, out)
     return "\n".join(out)
 
 
@@ -281,8 +447,11 @@ def _cmd_interval(args) -> str:
         f"{args.work_days:g}-day job)", rows, unit="mixed", digits=1)
 
 
-def _cmd_observe(args) -> str:
+def _cmd_observe(args):
     """One fully observed migration: spans + metrics, exported to disk."""
+    err = _out_dir_error(args.out_dir, "--out-dir")
+    if err is not None:
+        return err, 2
     tracer = Tracer()
     registry = MetricsRegistry()
     sc = Scenario.build(app=args.app, nprocs=args.nprocs,
@@ -350,18 +519,33 @@ def _cmd_bench(args):
             f"cannot import benchmarks.harness ({exc}); run from the "
             "repository root so the benchmarks/ package is importable")
     if args.profile_out:
+        err = _out_path_error(args.profile_out, "--profile-out")
+        if err is not None:
+            return err, 2
+    err = _out_dir_error(args.out_dir, "--out-dir")
+    if err is not None:
+        return err, 2
+    reporter = ProgressReporter(label="bench") if args.progress else None
+    progress_cb = None
+    if reporter is not None:
+        def progress_cb(name: str) -> None:
+            reporter.tick(detail=f"bench {name}")
+    if args.profile_out:
         import cProfile
         import io
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
+    t0 = start_clock()
     paths, regressions, text = run_benches(
         names=args.only, out_dir=args.out_dir,
         baselines_path=args.baselines,
         update_baselines=args.update_baselines,
         tolerance=args.tolerance,
-        restart_mode=args.restart_mode)
+        restart_mode=args.restart_mode,
+        progress_cb=progress_cb)
+    wall = stop_clock(t0)
     if args.profile_out:
         profiler.disable()
         profiler.dump_stats(args.profile_out)
@@ -373,6 +557,15 @@ def _cmd_bench(args):
             fh.write(buf.getvalue())
         text += (f"\nprofile: {args.profile_out} "
                  f"(summary: {summary_path})")
+    if reporter is not None:
+        reporter.done(f"{len(paths)} bench artifact(s)")
+    extra: List[str] = []
+    _record_run(args, "bench",
+                {"regressions": len(regressions),
+                 "benches": len(paths)},
+                list(paths), wall, extra)
+    if extra:
+        text += "\n" + "\n".join(extra)
     return text, (1 if regressions else 0)
 
 
@@ -455,11 +648,143 @@ def _cmd_validate(args) -> str:
     return render_validation(run_validation())
 
 
+def _cmd_report(args):
+    """Self-contained run report: live simulation or a recorded run."""
+    for path, flag in ((args.out, "--out"), (args.html, "--html"),
+                       (args.openmetrics, "--openmetrics")):
+        if path:
+            err = _out_path_error(path, flag)
+            if err is not None:
+                return err, 2
+
+    if args.from_run:
+        if args.openmetrics:
+            return ("error: --openmetrics needs a live run (a recorded "
+                    "manifest has no metrics registry to snapshot)"), 2
+        try:
+            manifest = load_manifest(args.from_run, args.runs_dir)
+        except (OSError, ValueError, TypeError) as exc:
+            return f"error: cannot load run {args.from_run!r}: {exc}", 2
+        records: list = []
+        series = None
+        trace_path = next((a for a in manifest.artifacts
+                           if a.endswith(".jsonl")), None)
+        if trace_path and os.path.exists(trace_path):
+            replay = read_jsonl(trace_path)
+            records = list(replay)
+            series = telemetry_series(replay)
+        text = render_run_report(
+            manifest=manifest, records=records, telemetry=series,
+            title=f"Run report — {manifest.run_id}")
+        registry = None
+        probe = None
+    else:
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        reporter = ProgressReporter(label="report") if args.progress else None
+        probe = TelemetryProbe(
+            interval=args.telemetry_interval,
+            on_sample=reporter.on_sample if reporter is not None else None)
+        sc = Scenario.build(app=args.app, nprocs=args.nprocs,
+                            n_compute=args.nodes, n_spare=1, iterations=40,
+                            seed=args.seed, transport=args.transport,
+                            restart_mode=args.restart_mode, trace=tracer,
+                            metrics=registry)
+        sc.sim.attach_probe(probe)
+        t0 = start_clock()
+        mig = sc.run_migration(args.source, at=5.0)
+        wall = stop_clock(t0)
+        if reporter is not None:
+            reporter.done(f"{sc.sim.events_processed} events, "
+                          f"{probe.samples_taken} samples")
+        manifest = None
+        if not args.no_manifest:
+            manifest = RunManifest.new("report", _run_config(args),
+                                       seed=args.seed)
+            manifest.wall_seconds = wall
+            manifest.results = {
+                "phases": migration_phase_breakdown(mig),
+                "total_seconds": mig.total_seconds,
+                "bytes_migrated": mig.bytes_migrated,
+                "telemetry_samples": probe.samples_taken,
+            }
+            path = write_manifest(manifest, args.runs_dir)
+            run_dir = os.path.dirname(path)
+            trace_path = os.path.join(run_dir, "trace.jsonl")
+            write_jsonl(tracer, trace_path)
+            manifest.artifacts = [os.path.abspath(trace_path)]
+            for p in (args.out, args.html, args.openmetrics):
+                if p:
+                    manifest.artifacts.append(os.path.abspath(p))
+            write_manifest(manifest, args.runs_dir, overwrite=True)
+        text = render_run_report(
+            manifest=manifest, records=tracer, telemetry=probe,
+            metrics_summary=registry.as_dict(),
+            title=f"Run report — migration {args.source} -> {mig.target} "
+                  f"({args.app}.{args.nprocs}, "
+                  f"{args.transport}/{args.restart_mode})")
+
+    notes: List[str] = []
+    if args.out:
+        with atomic_write(args.out) as fh:
+            fh.write(text)
+        notes.append(f"wrote {args.out}")
+    if args.html:
+        with atomic_write(args.html) as fh:
+            fh.write(report_to_html(text))
+        notes.append(f"wrote {args.html}")
+    if args.openmetrics and registry is not None:
+        n = write_openmetrics(args.openmetrics, metrics=registry,
+                              telemetry=probe)
+        notes.append(f"wrote {args.openmetrics} ({n} samples)")
+    if args.out:
+        return "\n".join(notes)
+    return text + ("\n" + "\n".join(notes) if notes else "")
+
+
+def _cmd_runs(args):
+    """Run registry: list / show / diff recorded manifests."""
+    import json as _json
+
+    if args.action == "list":
+        manifests = list_runs(args.runs_dir)
+        if not manifests:
+            return (f"no runs recorded under "
+                    f"{resolve_runs_dir(args.runs_dir)}")
+        id_w = max(len(m.run_id) for m in manifests)
+        lines = [f"{'run id'.ljust(id_w)}  {'command':<10} "
+                 f"{'config':<12} {'seed':>6} {'wall s':>8}"]
+        for m in manifests:
+            lines.append(f"{m.run_id.ljust(id_w)}  {m.command:<10} "
+                         f"{m.config_hash:<12} {str(m.seed):>6} "
+                         f"{m.wall_seconds:>8.2f}")
+        return "\n".join(lines)
+    if args.action == "show":
+        if len(args.ids) != 1:
+            return "error: `repro runs show` takes exactly one RUN_ID", 2
+        try:
+            m = load_manifest(args.ids[0], args.runs_dir)
+        except (OSError, ValueError, TypeError) as exc:
+            return f"error: cannot load run {args.ids[0]!r}: {exc}", 2
+        return _json.dumps(m.as_dict(), indent=2, sort_keys=True,
+                           default=str)
+    if len(args.ids) != 2:
+        return "error: `repro runs diff` takes exactly two RUN_IDs", 2
+    loaded = []
+    for run_id in args.ids:
+        try:
+            loaded.append(load_manifest(run_id, args.runs_dir))
+        except (OSError, ValueError, TypeError) as exc:
+            return f"error: cannot load run {run_id!r}: {exc}", 2
+    return diff_runs(loaded[0], loaded[1])
+
+
 _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "scale": _cmd_scale, "interval": _cmd_interval,
              "observe": _cmd_observe, "validate": _cmd_validate,
              "critical-path": _cmd_critical_path, "bench": _cmd_bench,
-             "sanitize": _cmd_sanitize, "lint": _cmd_lint}
+             "sanitize": _cmd_sanitize, "lint": _cmd_lint,
+             "report": _cmd_report, "runs": _cmd_runs}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

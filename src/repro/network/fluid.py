@@ -287,6 +287,10 @@ class FluidNetwork:
                                          unit="flows")
         self._m_comp_links = m.histogram("fluid.recompute.component_links",
                                          unit="links")
+        self._m_util = m.gauge("fluid.link.utilization.max", unit="ratio")
+        # Computing the max utilization walks the component's links, so it
+        # is skipped entirely (not just discarded) when metrics are off.
+        self._metrics_on = bool(getattr(m, "enabled", False))
 
     # -- public API ---------------------------------------------------------
     def transfer(self, path: Sequence[Link], nbytes: float,
@@ -392,6 +396,9 @@ class FluidNetwork:
             self._fill_vector(comp)
         else:
             self._fill_scalar(comp)
+        if self._metrics_on:
+            self._m_util.set(max((link.utilization for link in comp.links),
+                                 default=0.0))
 
     def _fill_scalar(self, comp: _Component) -> None:
         """The original per-link dict loop of the progressive fill."""

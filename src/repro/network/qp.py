@@ -139,6 +139,7 @@ class QueuePair:
         self._recv_queue: Store = Store(sim)
         self._send_lock = Resource(sim, capacity=1)
         self._m_posted = sim.metrics.counter("qp.wqe.posted", unit="wqes")
+        self._m_live = sim.metrics.gauge("qp.live", unit="qps")
 
     # -- connection management ------------------------------------------------
     def connect(self, peer: "QueuePair") -> Generator:
@@ -158,6 +159,7 @@ class QueuePair:
         self.peer = peer
         peer.peer = self
         self.state = peer.state = QPState.RTS
+        self._m_live.inc(2.0)  # both endpoints just reached RTS
         trace = self.sim.trace
         if trace is not None:
             trace.record(self.sim.now, "qp.connect", qp=self.qp_num,
@@ -181,6 +183,14 @@ class QueuePair:
         if self._destroyed:
             return
         self._destroyed = True
+        # Each endpoint leaving RTS (this QP, and the peer we drive into
+        # ERROR below) drops the live-QP gauge exactly once.
+        leaving = int(self.state is QPState.RTS)
+        if (self.peer is not None and self.peer.peer is self
+                and self.peer.state is QPState.RTS):
+            leaving += 1
+        if leaving:
+            self._m_live.dec(float(leaving))
         trace = self.sim.trace
         if trace is not None:
             trace.record(self.sim.now, "qp.destroy", qp=self.qp_num,

@@ -88,6 +88,9 @@ class MigrationPipeline:
         self.source = source
         self.target = target
         self.expected_procs = expected_procs
+        self._m_pending = self.sim.metrics.gauge("pipeline.procs.pending",
+                                                 unit="processes")
+        self._m_pending.set(float(expected_procs))
         self.target_nla = target_nla
         self._run_span = self.tracer.span(
             "pipeline.run", source=source.name, target=target.name,
@@ -127,6 +130,7 @@ class MigrationPipeline:
     def _watch_completions(self) -> Generator:
         for _ in range(self.expected_procs):
             proc = yield self.session.completions.get()
+            self._m_pending.dec()
             trace = self.sim.trace
             if trace is not None:
                 trace.record(self.sim.now, "pipeline.proc.ready", proc=proc,

@@ -27,6 +27,12 @@ from .metrics import (
 )
 from .resources import Container, PriorityStore, Resource, Store
 from .rng import RandomStreams
+from .telemetry import (
+    NULL_PROBE,
+    NullTelemetryProbe,
+    TelemetryProbe,
+    TimeSeries,
+)
 from .schema import (
     LAYERS,
     TRACE_SCHEMA,
@@ -64,6 +70,10 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TelemetryProbe",
+    "NullTelemetryProbe",
+    "NULL_PROBE",
+    "TimeSeries",
     "TRACE_SCHEMA",
     "LAYERS",
     "validate_record",

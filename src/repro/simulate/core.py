@@ -479,6 +479,9 @@ class Simulator:
         self._spawned: list = []
         self._trace: Any = None
         self._metrics: Any = None
+        #: Optional telemetry probe; ``None`` keeps the run loop at one
+        #: float comparison per event (``when >= inf`` is always false).
+        self._probe: Any = None
         self.trace = trace
         self.metrics = metrics
 
@@ -507,6 +510,24 @@ class Simulator:
         from .trace import NULL_TRACER
 
         return NULL_TRACER
+
+    @property
+    def probe(self) -> Any:
+        """The attached telemetry probe, or ``None`` (the fast default)."""
+        return self._probe
+
+    def attach_probe(self, probe: Any) -> Any:
+        """Attach a :class:`~repro.simulate.telemetry.TelemetryProbe`.
+
+        The probe is *observed*, never scheduled: the run loop samples it
+        when the clock crosses its next boundary, so attaching one cannot
+        change event order, sequence numbering, or any simulation
+        outcome.  Attach before :meth:`run`; returns the probe.
+        """
+        self._probe = probe
+        if probe is not None and hasattr(probe, "bind"):
+            probe.bind(self)
+        return probe
 
     @property
     def metrics(self) -> Any:
@@ -615,6 +636,9 @@ class Simulator:
         if when < self._now:
             raise SimulationError(f"time went backwards: {when} < {self._now}")
         self._now = when
+        probe = self._probe
+        if probe is not None and when >= probe.next_time:
+            probe.on_advance(when)
         callbacks = event.callbacks
         if callbacks is None:
             raise SimulationError(
@@ -659,6 +683,11 @@ class Simulator:
         peek_entry = queue.peek_entry
         queue_pop = queue.pop
         unhandled = self._unhandled
+        # Telemetry: one float compare per event when no probe is attached
+        # (probe_next stays +inf).  Sampling happens after the clock
+        # advance and before the event's callbacks, same as step().
+        probe = self._probe
+        probe_next = probe.next_time if probe is not None else float("inf")
         try:
             while True:
                 entry = peek_entry()
@@ -678,6 +707,8 @@ class Simulator:
                     raise SimulationError(
                         f"time went backwards: {when} < {self._now}")
                 self._now = when
+                if when >= probe_next:
+                    probe_next = probe.on_advance(when)
                 callbacks = event.callbacks
                 if callbacks is None:
                     raise SimulationError(

@@ -257,6 +257,20 @@ class MetricsRegistry:
     def __iter__(self):
         return iter(self._instruments.values())
 
+    def sample_values(self) -> List[Tuple[str, str, float]]:
+        """Current ``(name, unit, value)`` of every counter and gauge.
+
+        The telemetry probe's view of the registry: a point-in-time
+        snapshot in registration order (deterministic for a seeded run),
+        cheap enough to take on every sample tick.  Histograms are
+        excluded — their summary is a distribution, not a level.
+        """
+        out: List[Tuple[str, str, float]] = []
+        for inst in self._instruments.values():
+            if inst.kind in ("counter", "gauge"):
+                out.append((inst.name, inst.unit, inst.value))
+        return out
+
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """``{name: instrument summary}`` — the ``metrics.json`` payload."""
         return {name: self._instruments[name].as_dict()
@@ -264,15 +278,30 @@ class MetricsRegistry:
 
 
 class _NullInstrument:
-    """Inert instrument: every mutator is a no-op."""
+    """Inert instrument: every mutator is a no-op.
+
+    Mirrors the union of the :class:`Counter`/:class:`Gauge`/
+    :class:`Histogram` surfaces (the parity test introspects the real
+    classes), so code holding an instrument never needs to know whether
+    metrics are on.
+    """
 
     __slots__ = ()
     kind = "null"
     name = "null"
     unit = ""
+    help = ""
+    registry = None
     value = 0.0
     samples: Tuple = ()
     count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+    bounds: Tuple = ()
+    bucket_counts: Tuple = ()
+    time_bucket = 1.0
 
     def inc(self, n: float = 1.0) -> None:
         pass
@@ -329,6 +358,9 @@ class NullMetricsRegistry:
 
     def __iter__(self):
         return iter(())
+
+    def sample_values(self) -> List[Tuple[str, str, float]]:
+        return []
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         return {}

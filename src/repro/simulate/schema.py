@@ -140,6 +140,10 @@ _EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "pipeline.proc.ready": ("pipeline", ("proc", "node", "sink"),
                             "One process's image finished reassembling in "
                             "the pipeline's sink (restart may begin)."),
+    "telemetry.sample": ("telemetry", ("metric", "value"),
+                         "One cadenced probe sample: the named time-series "
+                         "(kernel counter or metric instrument) observed at "
+                         "this sim time."),
 }
 
 

@@ -391,6 +391,9 @@ class NullTracer:
 
     #: Always-empty record list (shared; record() never appends).
     records: Tuple[TraceRecord, ...] = ()
+    #: Parity with :attr:`Tracer.subscriber_errors` — always empty, no
+    #: subscriber can ever run against a null tracer.
+    subscriber_errors: Tuple = ()
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         pass

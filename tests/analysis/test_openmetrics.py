@@ -1,0 +1,90 @@
+"""OpenMetrics exposition: emitter/parser round trip and strictness."""
+
+import pytest
+
+from repro.analysis import (
+    openmetrics_snapshot,
+    parse_openmetrics,
+    write_openmetrics,
+)
+from repro.simulate import MetricsRegistry, Simulator, TelemetryProbe
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("qp.rdma_read.bytes", unit="bytes").inc(1024)
+    reg.gauge("pool.occupancy", unit="ratio").set(0.75)
+    hist = reg.histogram("pool.chunk.fill_seconds", unit="seconds")
+    for v in (0.001, 0.01, 0.1):
+        hist.observe(v)
+    return reg
+
+
+def test_snapshot_round_trips_through_own_parser():
+    text = openmetrics_snapshot(metrics=_registry())
+    families = parse_openmetrics(text)
+    assert families["qp_rdma_read_bytes_total"] == [(None, 1024.0)]
+    assert families["pool_occupancy"] == [(None, 0.75)]
+    assert families["pool_chunk_fill_seconds_count"] == [(None, 3.0)]
+    buckets = families["pool_chunk_fill_seconds_bucket"]
+    # Cumulative histogram: the +Inf bucket holds every observation.
+    assert buckets[-1] == ('{le="+Inf"}', 3.0)
+    counts = [v for _, v in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+
+
+def test_snapshot_includes_telemetry_series_as_gauges():
+    sim = Simulator(metrics=MetricsRegistry())
+    probe = sim.attach_probe(TelemetryProbe(interval=0.5))
+    for i in range(1, 9):
+        sim.timeout(i * 0.5)
+    sim.run(until=4.0)
+    text = openmetrics_snapshot(metrics=sim.metrics, telemetry=probe)
+    families = parse_openmetrics(text)
+    assert "telemetry_kernel_queue_depth" in families
+    n = families["telemetry_kernel_queue_depth_samples"][0][1]
+    assert n == len(probe.get("kernel.queue_depth"))
+
+
+def test_names_are_sanitized_to_openmetrics_charset():
+    reg = MetricsRegistry()
+    reg.gauge("weird-name.with.dots", unit="u/s").set(1.0)
+    text = openmetrics_snapshot(metrics=reg)
+    families = parse_openmetrics(text)
+    assert "weird_name_with_dots" in families
+
+
+def test_write_openmetrics_is_atomic_and_counts_samples(tmp_path):
+    path = tmp_path / "metrics.om"
+    n = write_openmetrics(str(path), metrics=_registry())
+    text = path.read_text()
+    assert text.endswith("# EOF\n")
+    assert n == sum(1 for line in text.splitlines()
+                    if line and not line.startswith("#"))
+    assert not list(tmp_path.glob("*.tmp.*")), "no temp files left behind"
+
+
+def test_parser_rejects_missing_eof():
+    with pytest.raises(ValueError, match="EOF"):
+        parse_openmetrics("# TYPE x gauge\nx 1.0\n")
+
+
+def test_parser_rejects_untyped_sample():
+    with pytest.raises(ValueError, match="no # TYPE"):
+        parse_openmetrics("orphan 1.0\n# EOF")
+
+
+def test_parser_rejects_malformed_sample():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_openmetrics("# TYPE x gauge\nx one-point-zero\n# EOF")
+
+
+def test_empty_snapshot_is_valid():
+    assert parse_openmetrics(openmetrics_snapshot()) == {}
+
+
+def test_infinite_gauge_renders_as_inf():
+    reg = MetricsRegistry()
+    reg.gauge("x").set(float("inf"))
+    families = parse_openmetrics(openmetrics_snapshot(metrics=reg))
+    assert families["x"] == [(None, float("inf"))]

@@ -1,0 +1,16 @@
+"""Suite-wide fixtures.
+
+Every ``repro migrate/compare/bench/report`` invocation records a run
+manifest; without redirection the CLI tests would litter the repository
+with ``runs/`` directories.  The autouse fixture points the registry at
+a per-test temporary directory through the ``REPRO_RUNS_DIR``
+environment variable (the lowest-precedence knob, so tests that pass an
+explicit ``--runs-dir`` still win).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _runs_dir_in_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

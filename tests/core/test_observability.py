@@ -11,6 +11,7 @@ from repro.simulate import (
     LAYERS,
     MetricsRegistry,
     TRACE_SCHEMA,
+    TelemetryProbe,
     Tracer,
     layers_covered,
     validate_trace,
@@ -23,6 +24,9 @@ def observed():
     registry = MetricsRegistry()
     sc = Scenario.build(app="LU.C", nprocs=8, n_compute=2, n_spare=1,
                         iterations=20, trace=tracer, metrics=registry)
+    # The probe contributes the telemetry layer's records on a sampling
+    # cadence, alongside the event-driven spans.
+    sc.sim.attach_probe(TelemetryProbe())
     report = sc.run_migration("node1", at=2.0)
     # Run the app to the end so steady-state MPI traffic (msg.* records)
     # is part of the observed trace alongside the migration cycle.
@@ -46,7 +50,7 @@ def test_trace_spans_at_least_20_kinds_across_all_layers(observed):
 def test_schema_covers_only_known_layers():
     assert set(LAYERS) == {"framework", "pipeline", "buffer-pool",
                            "checkpoint", "network", "mpi", "ftb", "storage",
-                           "flow"}
+                           "flow", "telemetry"}
     for spec in TRACE_SCHEMA.values():
         assert spec.layer in LAYERS
         assert spec.doc

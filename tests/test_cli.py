@@ -170,3 +170,168 @@ def test_bench_parser_accepts_restart_mode():
     assert args.restart_mode == "memory"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bench", "--restart-mode", "tape"])
+
+
+# -- run registry and reports ------------------------------------------------
+
+SMALL = ("--app", "LU.C", "--nprocs", "8", "--nodes", "2")
+
+
+def _run_ids(capsys, runs_dir):
+    out = run_cli(capsys, "runs", "list", "--runs-dir", str(runs_dir))
+    return [line.split()[0] for line in out.splitlines()[1:]]
+
+
+def test_migrate_records_a_manifest(capsys, tmp_path):
+    out = run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+                  "--runs-dir", str(tmp_path))
+    assert "recorded run" in out
+    ids = _run_ids(capsys, tmp_path)
+    assert len(ids) == 1 and "-migrate-" in ids[0]
+    show = run_cli(capsys, "runs", "show", ids[0],
+                   "--runs-dir", str(tmp_path))
+    import json
+    doc = json.loads(show)
+    assert doc["command"] == "migrate"
+    assert doc["results"]["phases"]["Restart"] > 0
+    assert doc["config"]["restart_mode"] == "file"
+
+
+def test_no_manifest_flag_skips_recording(capsys, tmp_path):
+    out = run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+                  "--runs-dir", str(tmp_path), "--no-manifest")
+    assert "recorded run" not in out
+    out = run_cli(capsys, "runs", "list", "--runs-dir", str(tmp_path))
+    assert "no runs recorded" in out
+
+
+def test_runs_diff_shows_restart_delta_without_rerunning(capsys, tmp_path):
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "file", "--runs-dir", str(tmp_path))
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "memory", "--runs-dir", str(tmp_path))
+    ids = _run_ids(capsys, tmp_path)
+    assert len(ids) == 2
+    out = run_cli(capsys, "runs", "diff", *ids, "--runs-dir", str(tmp_path))
+    assert "restart_mode: file -> memory" in out
+    assert "phases.Restart:" in out
+    assert "%" in out
+
+
+def test_runs_show_and_diff_argument_validation(capsys, tmp_path):
+    rc = main(["runs", "show", "--runs-dir", str(tmp_path)])
+    assert rc == 2
+    assert "exactly one RUN_ID" in capsys.readouterr().out
+    rc = main(["runs", "diff", "only-one", "--runs-dir", str(tmp_path)])
+    assert rc == 2
+    rc = main(["runs", "show", "no-such-run", "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr()  # drain the diff error too
+    assert rc == 2
+
+
+def test_report_command_live_renders_sections(capsys, tmp_path):
+    out = run_cli(capsys, "report", *SMALL, "--source", "node1",
+                  "--runs-dir", str(tmp_path))
+    for section in ("## Phase waterfall", "## Critical-path blame",
+                    "## Telemetry time-series", "## Metrics summary"):
+        assert section in out, section
+    # At least four sampled series render as sparkline rows.
+    assert out.count("| `kernel.") >= 4
+
+
+def test_report_writes_markdown_html_and_openmetrics(capsys, tmp_path):
+    from repro.analysis import parse_openmetrics
+
+    md = tmp_path / "report.md"
+    html = tmp_path / "report.html"
+    om = tmp_path / "metrics.om"
+    out = run_cli(capsys, "report", *SMALL, "--source", "node1",
+                  "--runs-dir", str(tmp_path / "runs"),
+                  "--out", str(md), "--html", str(html),
+                  "--openmetrics", str(om))
+    # With --out the report goes to the file, stdout gets only notes.
+    assert f"wrote {md}" in out and "## Phase waterfall" not in out
+    assert "## Phase waterfall" in md.read_text()
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    families = parse_openmetrics(om.read_text())
+    assert any(name.startswith("telemetry_kernel_") for name in families)
+
+
+def test_report_from_run_rerenders_archived_trace(capsys, tmp_path):
+    run_cli(capsys, "report", *SMALL, "--source", "node1",
+            "--runs-dir", str(tmp_path))
+    (run_id,) = _run_ids(capsys, tmp_path)
+    out = run_cli(capsys, "report", "--from-run", run_id,
+                  "--runs-dir", str(tmp_path))
+    assert f"Run report — {run_id}" in out
+    assert "## Phase waterfall" in out
+    assert "## Telemetry time-series" in out
+
+
+def test_report_from_run_rejects_openmetrics(capsys, tmp_path):
+    rc = main(["report", "--from-run", "whatever",
+               "--runs-dir", str(tmp_path),
+               "--openmetrics", str(tmp_path / "x.om")])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "needs a live run" in out
+
+
+def test_report_from_unknown_run_is_one_line_error(capsys, tmp_path):
+    rc = main(["report", "--from-run", "no-such-run",
+               "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert out.startswith("error: cannot load run")
+    assert "Traceback" not in out
+
+
+@pytest.mark.parametrize("argv,fragment", [
+    (["migrate", "--trace-out", "/no/such/dir/t.jsonl"],
+     "--trace-out directory does not exist"),
+    (["report", "--out", "/no/such/dir/r.md"],
+     "--out directory does not exist"),
+    (["report", "--html", "/no/such/dir/r.html"],
+     "--html directory does not exist"),
+    (["report", "--openmetrics", "/no/such/dir/m.om"],
+     "--openmetrics directory does not exist"),
+    (["bench", "--profile-out", "/no/such/dir/p.pstats"],
+     "--profile-out directory does not exist"),
+])
+def test_unwritable_output_paths_fail_fast_with_exit_2(capsys, argv,
+                                                       fragment):
+    rc = main(argv + list(SMALL) if argv[0] != "bench" else argv)
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert fragment in out
+    assert out.strip().startswith("error:")
+    assert "Traceback" not in out
+
+
+def test_output_path_that_is_a_directory_fails_fast(capsys, tmp_path):
+    rc = main(["report", *SMALL, "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "path is a directory" in out
+
+
+def test_observe_out_dir_that_is_a_file_fails_fast(capsys, tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("x")
+    rc = main(["observe", *SMALL, "--source", "node1",
+               "--out-dir", str(blocker)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "path is a file, not a directory" in out
+
+
+def test_progress_heartbeat_goes_to_stderr(capsys, tmp_path):
+    rc = main(["report", *SMALL, "--source", "node1", "--progress",
+               "--runs-dir", str(tmp_path),
+               "--out", str(tmp_path / "r.md")])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "done in" in captured.err
+    assert "[report" in captured.err
+    # stdout stays clean for the artifact notes.
+    assert "done in" not in captured.out

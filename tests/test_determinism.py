@@ -37,13 +37,16 @@ def _reset_global_counters(monkeypatch):
     monkeypatch.setattr(buffer_manager, "_chunk_seq", count())
 
 
-def _trace_jsonl(scheduler, solver, monkeypatch):
+def _trace_jsonl(scheduler, solver, monkeypatch, telemetry=False):
     _reset_global_counters(monkeypatch)
     monkeypatch.setattr(fluid, "DEFAULT_SOLVER", solver)
     tracer = Tracer()
     sc = Scenario.build(app="LU.C", nprocs=64, n_compute=8, n_spare=1,
                         iterations=40, seed=0, trace=tracer,
                         scheduler=scheduler)
+    if telemetry:
+        from repro.simulate import TelemetryProbe
+        sc.sim.attach_probe(TelemetryProbe())
     report = sc.run_migration("node3", at=5.0)
     lines = "\n".join(json.dumps(rec.as_dict(), sort_keys=True)
                       for rec in tracer.records)
@@ -66,3 +69,18 @@ def test_fig4_trace_is_identical_across_kernel_configs(
             assert a == b, f"trace diverges at record {i}"
         assert len(got) == len(want)
     assert lines == ref_lines
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_trace_is_identical_with_telemetry_enabled(scheduler, monkeypatch):
+    """The telemetry probe is pure observation: with it attached the
+    matrix still replays byte-identically, and stripping its own records
+    recovers the probe-less trace exactly."""
+    ref_total, ref_lines = _trace_jsonl("heap", "scalar", monkeypatch)
+    total, lines = _trace_jsonl(scheduler, "scalar", monkeypatch,
+                                telemetry=True)
+    assert total == ref_total
+    kept = "\n".join(line for line in lines.splitlines()
+                     if '"kind": "telemetry.sample"' not in line)
+    assert kept == ref_lines
+    assert len(kept) < len(lines), "probe must actually have sampled"
