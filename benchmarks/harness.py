@@ -31,10 +31,14 @@ from repro.analysis import (
     build_span_dag,
     critical_path,
     cr_cycle_breakdown,
+    diff_traces,
     dominant_component,
     migration_cycle_breakdown,
     migration_phase_breakdown,
+    read_jsonl,
+    render_explanation,
     speedup,
+    write_jsonl,
 )
 from repro.scenario import Scenario
 from repro.simulate import Tracer
@@ -49,8 +53,9 @@ from .paper_reference import (
 )
 
 __all__ = ["BENCH_SCHEMA_VERSION", "ABS_TOLERANCE_FLOOR", "BENCHES",
-           "run_bench", "run_benches", "compare_to_baselines",
-           "flatten_results", "default_baselines_path"]
+           "EXPLAIN_SCENARIOS", "run_bench", "run_benches",
+           "compare_to_baselines", "flatten_results",
+           "default_baselines_path", "baseline_trace_path"]
 
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_REL_TOLERANCE = 0.05
@@ -353,6 +358,88 @@ BENCHES: Dict[str, Callable[..., Dict[str, Any]]] = {
 }
 
 
+#: Canonical traced scenario behind each migration bench, as
+#: ``(app, restart_mode)``.  When a bench regresses, the regression
+#: explainer replays this scenario and diffs its trace against the
+#: pinned baseline trace — the kernel-throughput family has no span
+#: trace, so it is absent here and never explained.
+EXPLAIN_SCENARIOS: Dict[str, Tuple[str, str]] = {
+    "fig4": ("LU.C", "file"),
+    "fig6": ("LU.C", "file"),
+    "fig7": ("LU.C", "file"),
+    "table1": ("LU.C", "file"),
+    "pipeline": ("LU.C", "file"),
+}
+
+
+def baseline_trace_path(bench: str,
+                        baselines_path: Optional[str] = None
+                        ) -> Optional[str]:
+    """Where the bench's pinned baseline trace lives (``None``: no trace).
+
+    Traces are keyed by canonical scenario, not bench name — benches
+    sharing one scenario share one pinned ``.jsonl.gz`` next to the
+    baselines file, under ``baseline_traces/``.
+    """
+    scenario = EXPLAIN_SCENARIOS.get(bench)
+    if scenario is None:
+        return None
+    app, mode = scenario
+    root = os.path.dirname(os.path.abspath(
+        baselines_path or default_baselines_path()))
+    return os.path.join(root, "baseline_traces",
+                        f"migration_{app}_{mode}.jsonl.gz")
+
+
+def _explain_headline(text: str) -> str:
+    for line in text.splitlines():
+        if line.startswith("dominant delta component:"):
+            return line
+    return "(no dominant delta component)"
+
+
+def _explain_regressions(regressed: List[str], out_dir: str,
+                         baselines_path: str,
+                         lines: List[str]) -> List[str]:
+    """Render ``EXPLAIN_<bench>.md`` for each regressed bench with a
+    pinned baseline trace; returns the paths written.
+
+    The canonical scenario is replayed at most once per distinct pinned
+    trace (benches sharing a scenario share the replay), and the diff's
+    headline is appended to the summary so CI logs name the guilty
+    component without opening the artifact.
+    """
+    written: List[str] = []
+    replays: Dict[str, Any] = {}
+    for bench in regressed:
+        pin = baseline_trace_path(bench, baselines_path)
+        if pin is None:
+            continue
+        if not os.path.exists(pin):
+            lines.append(f"  explain {bench}: no pinned baseline trace at "
+                         f"{pin} (re-run with --update-baselines)")
+            continue
+        if pin not in replays:
+            app, mode = EXPLAIN_SCENARIOS[bench]
+            _, tracer = _traced_migration(app, restart_mode=mode)
+            replays[pin] = tracer
+        try:
+            diff = diff_traces(read_jsonl(pin), replays[pin],
+                               label_a="pinned baseline",
+                               label_b="current")
+        except ValueError as exc:
+            lines.append(f"  explain {bench}: diff failed ({exc})")
+            continue
+        text = render_explanation(diff)
+        path = os.path.join(out_dir, f"EXPLAIN_{bench}.md")
+        with atomic_write(path) as fh:
+            fh.write(text)
+        written.append(path)
+        lines.append(f"  explain {bench}: {_explain_headline(text)} "
+                     f"-> {path}")
+    return written
+
+
 # -- artifacts and baselines -------------------------------------------------
 
 def run_bench(name: str, restart_mode: str = "file") -> Dict[str, Any]:
@@ -484,6 +571,16 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         lines.append(f"updated baselines: {baselines_path}")
+        pins = sorted({p for p in (baseline_trace_path(n, baselines_path)
+                                   for n in names) if p is not None})
+        for pin in pins:
+            os.makedirs(os.path.dirname(pin), exist_ok=True)
+            bench = next(n for n in names
+                         if baseline_trace_path(n, baselines_path) == pin)
+            app, mode = EXPLAIN_SCENARIOS[bench]
+            _, tracer = _traced_migration(app, restart_mode=mode)
+            n_rows = write_jsonl(tracer, pin)
+            lines.append(f"pinned baseline trace: {pin} ({n_rows} records)")
     elif os.path.exists(baselines_path):
         with open(baselines_path, "r", encoding="utf-8") as fh:
             baselines = json.load(fh)
@@ -491,6 +588,12 @@ def run_benches(names: Optional[List[str]] = None, out_dir: str = ".",
         if regressions:
             lines.append(f"REGRESSIONS ({len(regressions)}):")
             lines.extend(f"  {msg}" for msg in regressions)
+            # Regression messages lead with "<bench>: ", so the set of
+            # regressed benches falls out of the messages themselves.
+            regressed = sorted({msg.split(":", 1)[0] for msg in regressions
+                                if ":" in msg})
+            paths.extend(_explain_regressions(regressed, out_dir,
+                                              baselines_path, lines))
         else:
             lines.append(f"all results within tolerance of {baselines_path}")
     else:

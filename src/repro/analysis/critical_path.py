@@ -33,10 +33,15 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 __all__ = ["SpanNode", "FlowEdge", "SpanDAG", "CriticalPath", "Segment",
-           "build_span_dag", "critical_path", "dominant_component",
-           "render_waterfall", "render_blame"]
+           "ORCHESTRATION_SPANS", "build_span_dag", "critical_path",
+           "dominant_component", "render_waterfall", "render_blame"]
 
 _EPS = 1e-9
+
+#: Cycle-root / wrapper spans whose critical-path seconds are bookkeeping,
+#: not a component's own work — excluded when ranking "who owns the
+#: cycle" (and, in the differential analyzer, "who owns the delta").
+ORCHESTRATION_SPANS = ("migration", "cr.cycle", "pipeline.run")
 
 
 @dataclass
@@ -342,8 +347,7 @@ def critical_path(dag_or_trace, root: Optional[str] = None) -> CriticalPath:
 
 
 def dominant_component(cp: CriticalPath,
-                       skip: Iterable[str] = ("migration", "cr.cycle",
-                                              "pipeline.run")
+                       skip: Iterable[str] = ORCHESTRATION_SPANS
                        ) -> Tuple[str, float]:
     """(component, seconds): the largest non-orchestration contributor.
 

@@ -13,7 +13,8 @@ from typing import Dict, List
 
 from ..simulate.trace import Tracer
 
-__all__ = ["PhaseInterval", "extract_phases", "render_timeline"]
+__all__ = ["PhaseInterval", "extract_phases", "phase_totals",
+           "render_timeline"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,19 @@ def extract_phases(trace: Tracer,
                                            truncated=True))
     intervals.sort(key=lambda iv: iv.start)
     return intervals
+
+
+def phase_totals(intervals: List[PhaseInterval]) -> Dict[str, float]:
+    """Total seconds per phase name (concurrent same-name intervals sum).
+
+    The differential analyzer compares runs phase-by-phase through this
+    aggregation: interval *counts* may differ across runs (a retried
+    phase, an extra migration), but the per-name totals still line up.
+    """
+    out: Dict[str, float] = {}
+    for iv in intervals:
+        out[iv.name] = out.get(iv.name, 0.0) + iv.duration
+    return out
 
 
 def render_timeline(intervals: List[PhaseInterval], width: int = 60,

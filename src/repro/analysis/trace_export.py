@@ -27,12 +27,15 @@ complete one, never half a JSON document.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import os
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, TextIO, Tuple
 
-__all__ = ["atomic_write", "write_jsonl", "read_jsonl", "chrome_trace",
+__all__ = ["atomic_write", "atomic_write_bytes", "open_trace_text",
+           "write_jsonl", "read_jsonl", "chrome_trace",
            "write_chrome_trace", "metrics_payload", "write_metrics",
            "telemetry_series", "summarize_trace"]
 
@@ -57,6 +60,49 @@ def atomic_write(path: str) -> Iterator[TextIO]:
         except OSError:
             pass
         raise
+
+
+@contextmanager
+def atomic_write_bytes(path: str) -> Iterator[Any]:
+    """Binary twin of :func:`atomic_write` (gzip artifacts and the like)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    fh = open(tmp, "wb")
+    try:
+        yield fh
+        fh.flush()
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gzip(path: str) -> bool:
+    """Content sniff, not extension: a renamed archive still reads."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(2) == _GZIP_MAGIC
+    except OSError:
+        return False
+
+
+def open_trace_text(path: str) -> TextIO:
+    """Open a trace artifact for text reading, gzip-transparently.
+
+    Compression is detected from the gzip magic bytes, so both
+    ``trace.jsonl`` and ``trace.jsonl.gz`` (however they were named)
+    read identically.
+    """
+    if _is_gzip(path):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
 
 #: kind prefix -> Chrome trace category (drives Perfetto's track colors).
 _CATEGORIES = (
@@ -88,8 +134,28 @@ def _category(kind: str) -> str:
 
 
 def write_jsonl(trace, path: str) -> int:
-    """Write every record as one JSON line; returns the number of rows."""
+    """Write every record as one JSON line; returns the number of rows.
+
+    A path ending in ``.gz`` is written gzip-compressed (fig6-scale
+    traces shrink roughly 10x); readers sniff the magic bytes, so the
+    two forms are interchangeable downstream.
+    """
     n = 0
+    if path.endswith(".gz"):
+        with atomic_write_bytes(path) as raw:
+            # mtime=0 and an empty embedded filename keep the archive
+            # byte-identical across runs (and across tmp-file names), so
+            # the determinism matrix can diff compressed artifacts too.
+            with gzip.GzipFile(filename="", fileobj=raw, mode="wb",
+                               mtime=0) as gz:
+                fh = io.TextIOWrapper(gz, encoding="utf-8")
+                for rec in trace:
+                    fh.write(json.dumps(rec.as_dict(), default=str))
+                    fh.write("\n")
+                    n += 1
+                fh.flush()
+                fh.detach()
+        return n
     with atomic_write(path) as fh:
         for rec in trace:
             fh.write(json.dumps(rec.as_dict(), default=str))
@@ -101,11 +167,12 @@ def write_jsonl(trace, path: str) -> int:
 def read_jsonl(path: str):
     """Load a :func:`write_jsonl` export back into a (clockless) Tracer,
     so offline analysis (critical path, Chrome export) works on archived
-    traces exactly as on live ones."""
+    traces exactly as on live ones.  Gzip-compressed archives are
+    detected by content and decompressed transparently."""
     from ..simulate.trace import Tracer
 
     tracer = Tracer()
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_trace_text(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:

@@ -25,6 +25,7 @@ from .analysis import (
     cr_cycle_breakdown,
     critical_path,
     daly_interval,
+    diff_traces,
     dominant_component,
     effective_mtbf,
     extract_phases,
@@ -32,6 +33,7 @@ from .analysis import (
     migration_phase_breakdown,
     read_jsonl,
     render_blame,
+    render_explanation,
     render_table,
     render_timeline,
     render_waterfall,
@@ -55,6 +57,7 @@ from .obs import (
     resolve_runs_dir,
     start_clock,
     stop_clock,
+    trace_artifact,
     write_manifest,
 )
 from .params import NPB_TABLE
@@ -239,9 +242,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="probe sampling cadence in sim seconds "
                           "(default 0.25)")
 
+    exp = sub.add_parser(
+        "explain",
+        help="differential trace analysis of two runs: span-tree deltas, "
+             "critical-path blame shifts, telemetry diffs")
+    exp.add_argument("a", metavar="RUN_A",
+                     help="baseline: a recorded run id or a trace "
+                          ".jsonl/.jsonl.gz path")
+    exp.add_argument("b", metavar="RUN_B",
+                     help="candidate: a recorded run id or a trace "
+                          ".jsonl/.jsonl.gz path")
+    exp.add_argument("--runs-dir", default=None, metavar="DIR",
+                     help="run-registry directory for run-id arguments "
+                          "(default: $REPRO_RUNS_DIR or ./runs)")
+    exp.add_argument("--root", default=None,
+                     help="cycle span to attribute end-to-end time to "
+                          "(default: migration)")
+    exp.add_argument("--top", type=int, default=12,
+                     help="rows per delta table (default 12)")
+    exp.add_argument("--out", default=None, metavar="PATH",
+                     help="write the markdown explanation here "
+                          "(default: stdout)")
+
     runs = sub.add_parser(
         "runs", help="run registry: list recorded runs, show one, or diff "
-                     "two without re-running")
+                     "two without re-running (with archived traces, adds "
+                     "the trace-level explanation)")
     runs.add_argument("action", choices=["list", "show", "diff"])
     runs.add_argument("ids", nargs="*", metavar="RUN_ID",
                       help="one id for show, two for diff")
@@ -667,15 +693,25 @@ def _cmd_report(args):
             return f"error: cannot load run {args.from_run!r}: {exc}", 2
         records: list = []
         series = None
-        trace_path = next((a for a in manifest.artifacts
-                           if a.endswith(".jsonl")), None)
-        if trace_path and os.path.exists(trace_path):
+        trace_path = trace_artifact(manifest)
+        if trace_path is not None:
             replay = read_jsonl(trace_path)
             records = list(replay)
             series = telemetry_series(replay)
+        extra_sections = []
+        for a in manifest.artifacts:
+            base = os.path.basename(a)
+            if base.startswith("EXPLAIN_") and base.endswith(".md") \
+                    and os.path.exists(a):
+                with open(a, encoding="utf-8") as fh:
+                    extra_sections.append(
+                        (f"Regression explanation — "
+                         f"{base[len('EXPLAIN_'):-len('.md')]}",
+                         fh.read()))
         text = render_run_report(
             manifest=manifest, records=records, telemetry=series,
-            title=f"Run report — {manifest.run_id}")
+            title=f"Run report — {manifest.run_id}",
+            extra_sections=extra_sections)
         registry = None
         probe = None
     else:
@@ -710,7 +746,7 @@ def _cmd_report(args):
             }
             path = write_manifest(manifest, args.runs_dir)
             run_dir = os.path.dirname(path)
-            trace_path = os.path.join(run_dir, "trace.jsonl")
+            trace_path = os.path.join(run_dir, "trace.jsonl.gz")
             write_jsonl(tracer, trace_path)
             manifest.artifacts = [os.path.abspath(trace_path)]
             for p in (args.out, args.html, args.openmetrics):
@@ -734,12 +770,64 @@ def _cmd_report(args):
             fh.write(report_to_html(text))
         notes.append(f"wrote {args.html}")
     if args.openmetrics and registry is not None:
+        labels = ({"run_id": manifest.run_id} if manifest is not None
+                  else None)
         n = write_openmetrics(args.openmetrics, metrics=registry,
-                              telemetry=probe)
+                              telemetry=probe, labels=labels)
         notes.append(f"wrote {args.openmetrics} ({n} samples)")
     if args.out:
         return "\n".join(notes)
     return text + ("\n" + "\n".join(notes) if notes else "")
+
+
+def _resolve_trace_source(value: str, runs_dir: Optional[str]):
+    """``(error, label, tracer)`` for an explain argument.
+
+    A path that exists on disk is read as a trace export (gzip sniffed);
+    anything else is treated as a run id whose manifest must carry an
+    archived trace artifact.
+    """
+    if os.path.isfile(value):
+        err = _trace_file_error(value)
+        if err is not None:
+            return err, None, None
+        return None, value, read_jsonl(value)
+    try:
+        manifest = load_manifest(value, runs_dir)
+    except (OSError, ValueError, TypeError):
+        return (f"error: {value!r} is neither a trace file nor a "
+                f"recorded run id under {resolve_runs_dir(runs_dir)}"), \
+            None, None
+    path = trace_artifact(manifest)
+    if path is None:
+        return (f"error: run {value!r} has no archived trace artifact "
+                f"(re-run with --trace-out or `repro report`)"), None, None
+    return None, manifest.run_id, read_jsonl(path)
+
+
+def _cmd_explain(args):
+    """Differential trace analysis: explain the delta between two runs."""
+    if args.out:
+        err = _out_path_error(args.out, "--out")
+        if err is not None:
+            return err, 2
+    sides = []
+    for value in (args.a, args.b):
+        err, label, tracer = _resolve_trace_source(value, args.runs_dir)
+        if err is not None:
+            return err, 2
+        sides.append((label, tracer))
+    try:
+        diff = diff_traces(sides[0][1], sides[1][1], root=args.root,
+                           label_a=sides[0][0], label_b=sides[1][0])
+    except ValueError as exc:
+        return f"error: {exc}", 2
+    text = render_explanation(diff, top=args.top)
+    if args.out:
+        with atomic_write(args.out) as fh:
+            fh.write(text)
+        return f"wrote {args.out}"
+    return text
 
 
 def _cmd_runs(args):
@@ -776,7 +864,19 @@ def _cmd_runs(args):
             loaded.append(load_manifest(run_id, args.runs_dir))
         except (OSError, ValueError, TypeError) as exc:
             return f"error: cannot load run {run_id!r}: {exc}", 2
-    return diff_runs(loaded[0], loaded[1])
+    text = diff_runs(loaded[0], loaded[1])
+    trace_a = trace_artifact(loaded[0])
+    trace_b = trace_artifact(loaded[1])
+    if trace_a and trace_b:
+        try:
+            diff = diff_traces(read_jsonl(trace_a), read_jsonl(trace_b),
+                               label_a=loaded[0].run_id,
+                               label_b=loaded[1].run_id)
+        except ValueError as exc:
+            text += f"\n\n(trace-level explanation skipped: {exc})"
+        else:
+            text += "\n\n" + render_explanation(diff)
+    return text
 
 
 _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
@@ -784,7 +884,8 @@ _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "observe": _cmd_observe, "validate": _cmd_validate,
              "critical-path": _cmd_critical_path, "bench": _cmd_bench,
              "sanitize": _cmd_sanitize, "lint": _cmd_lint,
-             "report": _cmd_report, "runs": _cmd_runs}
+             "report": _cmd_report, "runs": _cmd_runs,
+             "explain": _cmd_explain}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.analysis import (
+    escape_label_value,
+    format_labels,
     openmetrics_snapshot,
     parse_openmetrics,
+    unescape_label_value,
     write_openmetrics,
 )
 from repro.simulate import MetricsRegistry, Simulator, TelemetryProbe
@@ -28,7 +31,7 @@ def test_snapshot_round_trips_through_own_parser():
     assert families["pool_chunk_fill_seconds_count"] == [(None, 3.0)]
     buckets = families["pool_chunk_fill_seconds_bucket"]
     # Cumulative histogram: the +Inf bucket holds every observation.
-    assert buckets[-1] == ('{le="+Inf"}', 3.0)
+    assert buckets[-1] == ({"le": "+Inf"}, 3.0)
     counts = [v for _, v in buckets]
     assert counts == sorted(counts), "bucket counts must be cumulative"
 
@@ -88,3 +91,70 @@ def test_infinite_gauge_renders_as_inf():
     reg.gauge("x").set(float("inf"))
     families = parse_openmetrics(openmetrics_snapshot(metrics=reg))
     assert families["x"] == [(None, float("inf"))]
+
+
+@pytest.mark.parametrize("value", [
+    'plain',
+    'back\\slash',
+    'quo"te',
+    'new\nline',
+    'all \\ of " them\nat once',
+    '\\n',                         # literal backslash-n, NOT a newline
+    'trailing\\',
+])
+def test_label_value_escape_round_trip(value):
+    assert unescape_label_value(escape_label_value(value)) == value
+
+
+def test_escape_label_value_spec_sequences():
+    assert escape_label_value('a\\b') == 'a\\\\b'
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value('a\nb') == 'a\\nb'
+
+
+def test_snapshot_labels_round_trip_hostile_values():
+    reg = MetricsRegistry()
+    reg.counter("qp.bytes", unit="bytes").inc(7)
+    hostile = 'run "x"\\with\nnewline'
+    text = openmetrics_snapshot(metrics=reg,
+                                labels={"run_id": hostile, "app": "LU.C"})
+    families = parse_openmetrics(text)
+    (labels, value), = families["qp_bytes_total"]
+    assert value == 7.0
+    assert labels == {"run_id": hostile, "app": "LU.C"}
+
+
+def test_histogram_buckets_merge_le_with_shared_labels():
+    reg = MetricsRegistry()
+    reg.histogram("h").observe(0.5)
+    families = parse_openmetrics(
+        openmetrics_snapshot(metrics=reg, labels={"run_id": "r1"}))
+    for labels, _ in families["h_bucket"]:
+        assert labels["run_id"] == "r1"
+        assert "le" in labels
+    assert families["h_count"] == [({"run_id": "r1"}, 1.0)]
+
+
+def test_format_labels_sorts_and_escapes():
+    assert format_labels({"b": 'x"', "a": "y"}) == '{a="y",b="x\\""}'
+    assert format_labels(None) == ""
+    assert format_labels({}) == ""
+
+
+def test_parser_rejects_broken_label_blocks():
+    head = "# TYPE x gauge\n"
+    with pytest.raises(ValueError, match="unterminated label value"):
+        parse_openmetrics(head + 'x{a="oops 1.0\n# EOF')
+    with pytest.raises(ValueError, match="missing"):
+        parse_openmetrics(head + 'x{a} 1.0\n# EOF')
+    with pytest.raises(ValueError, match="bad label name"):
+        parse_openmetrics(head + 'x{1a="v"} 1.0\n# EOF')
+
+
+def test_parser_handles_brace_and_escaped_quote_in_value():
+    text = ('# TYPE x gauge\n'
+            'x{a="has } brace",b="esc \\" quote"} 2.0\n'
+            '# EOF')
+    (labels, value), = parse_openmetrics(text)["x"]
+    assert labels == {"a": "has } brace", "b": 'esc " quote'}
+    assert value == 2.0

@@ -1,5 +1,6 @@
 """Exporters (JSONL, Chrome trace) and span-aware timeline extraction."""
 
+import gzip
 import json
 
 import pytest
@@ -77,6 +78,45 @@ def test_read_jsonl_round_trips_tracer(tmp_path):
     # The loaded trace feeds the same analyses as the live one.
     assert [iv.name for iv in extract_phases(t2)] == \
         [iv.name for iv in extract_phases(t)]
+
+
+def test_write_jsonl_gz_writes_real_gzip(tmp_path):
+    _, t = make_trace()
+    path = tmp_path / "trace.jsonl.gz"
+    n = write_jsonl(t, str(path))
+    raw = path.read_bytes()
+    assert raw[:2] == b"\x1f\x8b", "gzip magic expected"
+    rows = [json.loads(line)
+            for line in gzip.decompress(raw).decode().splitlines()]
+    assert len(rows) == n == len(t)
+
+
+def test_write_jsonl_gz_is_deterministic(tmp_path):
+    _, t = make_trace()
+    a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+    write_jsonl(t, str(a))
+    write_jsonl(t, str(b))
+    # mtime is pinned to 0, so byte-identical archives for equal traces.
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_read_jsonl_transparently_reads_gzip(tmp_path):
+    _, t = make_trace()
+    path = tmp_path / "trace.jsonl.gz"
+    write_jsonl(t, str(path))
+    t2 = read_jsonl(str(path))
+    assert len(t2) == len(t)
+    assert t2.kinds() == t.kinds()
+
+
+def test_read_jsonl_sniffs_content_not_extension(tmp_path):
+    # A gzip stream with a misleading plain .jsonl name still reads.
+    _, t = make_trace()
+    gz = tmp_path / "trace.jsonl.gz"
+    write_jsonl(t, str(gz))
+    disguised = tmp_path / "trace.jsonl"
+    disguised.write_bytes(gz.read_bytes())
+    assert len(read_jsonl(str(disguised))) == len(t)
 
 
 def make_flow_trace():

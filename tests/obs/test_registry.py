@@ -1,0 +1,153 @@
+"""Run registry: manifests, hashing, listing and diffing."""
+
+import json
+import os
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+    diff_runs,
+    flatten_numeric,
+    list_runs,
+    load_manifest,
+    resolve_runs_dir,
+    write_manifest,
+)
+
+
+def _manifest(command="migrate", restart_mode="file", **results):
+    m = RunManifest.new(command, {"app": "LU.C", "nprocs": 8,
+                                  "restart_mode": restart_mode}, seed=0)
+    m.results = results
+    return m
+
+
+def test_config_hash_is_stable_and_order_independent():
+    a = config_hash({"x": 1, "y": "z"})
+    b = config_hash({"y": "z", "x": 1})
+    assert a == b and len(a) == 12
+    assert config_hash({"x": 2, "y": "z"}) != a
+
+
+def test_manifest_write_load_round_trip(tmp_path):
+    m = _manifest(total_seconds=6.1, phases={"Restart": 4.5})
+    path = write_manifest(m, str(tmp_path))
+    assert path.endswith(os.path.join(m.run_id, "manifest.json"))
+    loaded = load_manifest(m.run_id, str(tmp_path))
+    assert loaded.as_dict() == m.as_dict()
+    assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+    assert loaded.created.endswith("Z")
+
+
+def test_manifest_load_by_direct_path(tmp_path):
+    m = _manifest()
+    path = write_manifest(m, str(tmp_path))
+    assert load_manifest(path).run_id == m.run_id
+
+
+def test_collision_gets_suffix_not_clobbered(tmp_path):
+    a, b, c = _manifest(), _manifest(), _manifest()
+    # Same command + config within one second -> same initial run id.
+    b.run_id = a.run_id
+    c.run_id = a.run_id
+    write_manifest(a, str(tmp_path))
+    write_manifest(b, str(tmp_path))
+    write_manifest(c, str(tmp_path))
+    assert b.run_id == f"{a.run_id}-2"
+    assert c.run_id == f"{a.run_id}-3"
+    assert len(list_runs(str(tmp_path))) == 3
+
+
+def test_overwrite_rewrites_in_place(tmp_path):
+    m = _manifest()
+    write_manifest(m, str(tmp_path))
+    m.artifacts = ["trace.jsonl"]
+    write_manifest(m, str(tmp_path), overwrite=True)
+    assert len(list_runs(str(tmp_path))) == 1
+    assert load_manifest(m.run_id, str(tmp_path)).artifacts == ["trace.jsonl"]
+
+
+def test_list_runs_skips_foreign_entries(tmp_path):
+    write_manifest(_manifest(), str(tmp_path))
+    (tmp_path / "not-a-run").mkdir()
+    bad = tmp_path / "truncated"
+    bad.mkdir()
+    (bad / "manifest.json").write_text('{"run_id": ')
+    assert len(list_runs(str(tmp_path))) == 1
+
+
+def test_resolve_runs_dir_precedence(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "from-env"))
+    assert resolve_runs_dir("explicit") == "explicit"
+    assert resolve_runs_dir(None) == str(tmp_path / "from-env")
+    monkeypatch.delenv("REPRO_RUNS_DIR")
+    assert resolve_runs_dir(None) == "runs"
+
+
+def test_flatten_numeric_paths_and_bool_exclusion():
+    flat = flatten_numeric({"a": {"b": 1, "c": [2.5, 3]},
+                            "ok": True, "name": "x"})
+    assert flat == {"a.b": 1.0, "a.c.0": 2.5, "a.c.1": 3.0}
+
+
+def test_diff_runs_shows_config_change_and_restart_delta():
+    a = _manifest(restart_mode="file",
+                  phases={"Restart": 4.56, "Resume": 1.2}, total_seconds=6.1)
+    b = _manifest(restart_mode="memory",
+                  phases={"Restart": 0.10, "Resume": 1.2}, total_seconds=1.7)
+    text = diff_runs(a, b)
+    assert "restart_mode: file -> memory" in text
+    assert "phases.Restart: 4.56 -> 0.1" in text
+    assert "(-97.8%)" in text
+    # Unchanged fields stay out of the delta list.
+    assert "phases.Resume" not in text
+
+
+def test_diff_runs_identical_configs():
+    a, b = _manifest(x=1.0), _manifest(x=1.0)
+    text = diff_runs(a, b)
+    assert "config: identical" in text
+    assert "no differing shared numeric fields" in text
+
+
+def test_diff_runs_reports_one_sided_keys():
+    a, b = _manifest(only_a=1.0), _manifest(only_b=2.0)
+    text = diff_runs(a, b)
+    assert "removed (only in A): only_a" in text
+    assert "added (only in B): only_b" in text
+
+
+def test_diff_runs_reports_one_sided_non_numeric_keys():
+    # flatten_numeric drops string leaves; the diff must still name them.
+    a = _manifest(status="ok", gone="bye")
+    b = _manifest(status="ok", fresh="hi")
+    text = diff_runs(a, b)
+    assert "removed (only in A): gone" in text
+    assert "added (only in B): fresh" in text
+    assert "status" not in text  # unchanged shared key stays out
+
+
+def test_diff_runs_reports_non_numeric_value_changes():
+    a = _manifest(mode="file", x=1.0)
+    b = _manifest(mode="memory", x=1.0)
+    text = diff_runs(a, b)
+    assert "non-numeric changes (A -> B):" in text
+    assert "mode: 'file' -> 'memory'" in text
+
+
+def test_flatten_leaves_keeps_everything():
+    from repro.obs import flatten_leaves
+    flat = flatten_leaves({"a": {"b": 1, "s": "x"}, "ok": True,
+                           "none": None, "xs": ["p", 2]})
+    assert flat == {"a.b": 1, "a.s": "x", "ok": True, "none": None,
+                    "xs.0": "p", "xs.1": 2}
+
+
+def test_manifest_is_valid_json_on_disk(tmp_path):
+    m = _manifest(total_seconds=6.1)
+    path = write_manifest(m, str(tmp_path))
+    doc = json.load(open(path))
+    assert doc["command"] == "migrate"
+    assert doc["config_hash"] == m.config_hash
+    assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION

@@ -14,6 +14,8 @@ pytest.importorskip("benchmarks.harness",
 from benchmarks.harness import (  # noqa: E402
     BENCH_SCHEMA_VERSION,
     BENCHES,
+    EXPLAIN_SCENARIOS,
+    baseline_trace_path,
     compare_to_baselines,
     default_baselines_path,
     flatten_results,
@@ -128,6 +130,60 @@ def test_update_baselines_writes_merged_doc(tmp_path):
     _, regressions, _ = run_benches(["fig4"], out_dir=str(tmp_path),
                                     baselines_path=str(base))
     assert regressions == []
+
+
+def test_baseline_trace_paths_shared_by_scenario(tmp_path):
+    base = str(tmp_path / "baselines.json")
+    # All migration benches run the same canonical scenario, so they
+    # share one pinned trace; the kernel family has none.
+    paths = {baseline_trace_path(n, base) for n in EXPLAIN_SCENARIOS}
+    assert paths == {str(tmp_path / "baseline_traces" /
+                         "migration_LU.C_file.jsonl.gz")}
+    assert baseline_trace_path("events_per_sec", base) is None
+
+
+def test_update_baselines_pins_canonical_trace(tmp_path):
+    base = tmp_path / "baselines.json"
+    _, _, summary = run_benches(["fig4"], out_dir=str(tmp_path),
+                                baselines_path=str(base),
+                                update_baselines=True)
+    assert "pinned baseline trace" in summary
+    pin = baseline_trace_path("fig4", str(base))
+    assert pin is not None
+    with open(pin, "rb") as fh:
+        assert fh.read(2) == b"\x1f\x8b"
+
+
+def test_regression_renders_explain_artifact(tmp_path):
+    base = tmp_path / "baselines.json"
+    _, _, _ = run_benches(["fig4"], out_dir=str(tmp_path),
+                          baselines_path=str(base), update_baselines=True)
+    doc = json.loads(base.read_text())
+    key = next(k for k in doc["benches"]["fig4"] if k.endswith("Total"))
+    doc["benches"]["fig4"][key] *= 2
+    base.write_text(json.dumps(doc))
+    paths, regressions, summary = run_benches(
+        ["fig4"], out_dir=str(tmp_path), baselines_path=str(base))
+    assert regressions
+    explain = str(tmp_path / "EXPLAIN_fig4.md")
+    assert explain in paths, "explanation must ride along as an artifact"
+    text = open(explain).read()
+    assert "## Differential trace analysis" in text
+    assert "dominant delta component:" in text
+    assert "explain fig4: dominant delta component:" in summary
+
+
+def test_regression_without_pinned_trace_notes_gap(tmp_path):
+    base = tmp_path / "baselines.json"
+    base.write_text(json.dumps({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benches": {"fig4": {"LU.C.Total": 1e6}},
+    }))
+    paths, regressions, summary = run_benches(
+        ["fig4"], out_dir=str(tmp_path), baselines_path=str(base))
+    assert regressions
+    assert "no pinned baseline trace" in summary
+    assert not [p for p in paths if "EXPLAIN" in p]
 
 
 def test_committed_baselines_cover_every_bench():

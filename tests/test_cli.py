@@ -325,6 +325,116 @@ def test_observe_out_dir_that_is_a_file_fails_fast(capsys, tmp_path):
     assert "path is a file, not a directory" in out
 
 
+# -- differential trace analysis (repro explain) -----------------------------
+
+
+def _two_traced_runs(capsys, tmp_path):
+    """Record one file-mode and one memory-mode migration with traces."""
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "file", "--runs-dir", str(tmp_path),
+            "--trace-out", str(tmp_path / "file.jsonl.gz"))
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "memory", "--runs-dir", str(tmp_path),
+            "--trace-out", str(tmp_path / "mem.jsonl"))
+    return _run_ids(capsys, tmp_path)
+
+
+def test_explain_from_trace_files_mixed_gzip(capsys, tmp_path):
+    _two_traced_runs(capsys, tmp_path)
+    out = run_cli(capsys, "explain", str(tmp_path / "file.jsonl.gz"),
+                  str(tmp_path / "mem.jsonl"))
+    assert "## Differential trace analysis" in out
+    assert "dominant delta component: blcr.restart" in out
+    assert "### Critical-path blame shifts" in out
+    assert "`blcr.restart`" in out
+
+
+def test_explain_from_run_ids(capsys, tmp_path):
+    id_a, id_b = _two_traced_runs(capsys, tmp_path)
+    out = run_cli(capsys, "explain", id_a, id_b,
+                  "--runs-dir", str(tmp_path))
+    assert f"run A: `{id_a}`" in out
+    assert f"run B: `{id_b}`" in out
+    assert "dominant delta component: blcr.restart" in out
+
+
+def test_explain_writes_out_file(capsys, tmp_path):
+    _two_traced_runs(capsys, tmp_path)
+    dest = tmp_path / "explain.md"
+    out = run_cli(capsys, "explain", str(tmp_path / "file.jsonl.gz"),
+                  str(tmp_path / "mem.jsonl"), "--out", str(dest))
+    assert f"wrote {dest}" in out
+    assert "dominant delta component" in dest.read_text()
+
+
+def test_explain_unknown_source_is_one_line_error(capsys, tmp_path):
+    rc = main(["explain", "nope-a", "nope-b",
+               "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert out.startswith("error: 'nope-a' is neither a trace file")
+    assert "Traceback" not in out
+
+
+def test_explain_run_without_trace_artifact_errors(capsys, tmp_path):
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--runs-dir", str(tmp_path))  # no --trace-out
+    (run_id,) = _run_ids(capsys, tmp_path)
+    rc = main(["explain", run_id, run_id, "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "no archived trace artifact" in out
+
+
+def test_runs_diff_appends_trace_explanation(capsys, tmp_path):
+    ids = _two_traced_runs(capsys, tmp_path)
+    out = run_cli(capsys, "runs", "diff", *ids, "--runs-dir", str(tmp_path))
+    assert "restart_mode: file -> memory" in out      # scalar diff intact
+    assert "## Differential trace analysis" in out    # plus the explainer
+    assert "dominant delta component: blcr.restart" in out
+
+
+def test_runs_diff_without_traces_skips_explanation(capsys, tmp_path):
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "file", "--runs-dir", str(tmp_path))
+    run_cli(capsys, "migrate", *SMALL, "--source", "node1",
+            "--restart-mode", "memory", "--runs-dir", str(tmp_path))
+    ids = _run_ids(capsys, tmp_path)
+    out = run_cli(capsys, "runs", "diff", *ids, "--runs-dir", str(tmp_path))
+    assert "restart_mode: file -> memory" in out
+    assert "Differential trace analysis" not in out
+
+
+def test_report_archives_gzip_trace_and_from_run_reads_it(capsys, tmp_path):
+    run_cli(capsys, "report", *SMALL, "--source", "node1",
+            "--runs-dir", str(tmp_path))
+    (run_id,) = _run_ids(capsys, tmp_path)
+    archived = tmp_path / run_id / "trace.jsonl.gz"
+    assert archived.exists()
+    assert archived.read_bytes()[:2] == b"\x1f\x8b"
+    out = run_cli(capsys, "report", "--from-run", run_id,
+                  "--runs-dir", str(tmp_path))
+    assert "## Phase waterfall" in out
+
+
+def test_report_from_run_includes_explain_artifacts(capsys, tmp_path):
+    import json
+
+    run_cli(capsys, "report", *SMALL, "--source", "node1",
+            "--runs-dir", str(tmp_path))
+    (run_id,) = _run_ids(capsys, tmp_path)
+    explain = tmp_path / "EXPLAIN_fig4.md"
+    explain.write_text("dominant delta component: blcr.restart\n")
+    manifest_path = tmp_path / run_id / "manifest.json"
+    doc = json.loads(manifest_path.read_text())
+    doc["artifacts"].append(str(explain))
+    manifest_path.write_text(json.dumps(doc))
+    out = run_cli(capsys, "report", "--from-run", run_id,
+                  "--runs-dir", str(tmp_path))
+    assert "## Regression explanation — fig4" in out
+    assert "dominant delta component: blcr.restart" in out
+
+
 def test_progress_heartbeat_goes_to_stderr(capsys, tmp_path):
     rc = main(["report", *SMALL, "--source", "node1", "--progress",
                "--runs-dir", str(tmp_path),
