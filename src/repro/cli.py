@@ -212,9 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
                       help="files/directories to lint (default: the "
                            "installed repro package sources)")
-    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"])
     lint.add_argument("--no-emitter-coverage", action="store_true",
                       help="skip the schema emitter-coverage cross-check")
+
+    simc = sub.add_parser(
+        "simcheck",
+        help="interprocedural static analysis: yield-point races, "
+             "set/id/RNG order nondeterminism, unbalanced spans; "
+             "non-zero exit on non-baselined findings")
+    simc.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                      help="files/directories to analyze (default: the "
+                           "installed repro package sources)")
+    simc.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"])
+    simc.add_argument("--baseline", default=None, metavar="PATH",
+                      help="findings baseline to diff against (default: "
+                           "benchmarks/simcheck_baseline.json when it "
+                           "exists)")
+    simc.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring any baseline")
+    simc.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from this run's findings "
+                           "and exit 0")
+    simc.add_argument("--disable", action="append", default=[],
+                      metavar="RULE",
+                      help="disable a rule by id or slug (repeatable)")
+    simc.add_argument("--sarif-out", default=None, metavar="PATH",
+                      help="additionally write a SARIF 2.1.0 document "
+                           "here (for CI code-scanning upload)")
 
     rep = sub.add_parser(
         "report",
@@ -652,12 +679,14 @@ def _cmd_lint(args):
     """Static AST lint of emit sites, wall-clock calls, unused imports."""
     import json as _json
 
-    from .sanitize import lint_paths
+    from .sanitize import lint_paths, sarif_json
 
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     findings = lint_paths(paths,
                           check_emitter_coverage=not args.no_emitter_coverage)
     code = 0 if not findings else 1
+    if args.format == "sarif":
+        return sarif_json(findings, "repro-lint"), code
     if args.format == "json":
         return _json.dumps({"paths": paths, "clean": not findings,
                             "findings": [f.as_dict() for f in findings]},
@@ -665,6 +694,78 @@ def _cmd_lint(args):
     lines = [f.render() for f in findings]
     lines.append(f"{len(findings)} finding(s) in {len(paths)} path(s)"
                  if findings else "lint clean")
+    return "\n".join(lines), code
+
+
+_DEFAULT_SIMCHECK_BASELINE = os.path.join("benchmarks",
+                                          "simcheck_baseline.json")
+
+
+def _cmd_simcheck(args):
+    """Interprocedural determinism / yield-point race analysis."""
+    import json as _json
+
+    from .sanitize import sarif_json, simcheck_paths, write_baseline
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    baseline_path = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None \
+                and os.path.exists(_DEFAULT_SIMCHECK_BASELINE):
+            baseline_path = _DEFAULT_SIMCHECK_BASELINE
+        if baseline_path is not None \
+                and not os.path.exists(baseline_path):
+            return f"error: baseline not found: {baseline_path}", 2
+    result = simcheck_paths(paths, baseline_path=baseline_path,
+                            disabled=args.disable)
+    if args.write_baseline:
+        target = args.baseline or _DEFAULT_SIMCHECK_BASELINE
+        n = write_baseline(result.findings, target)
+        return f"wrote {target} ({n} grandfathered finding(s))", 0
+    code = 0 if result.clean else 1
+    if args.sarif_out:
+        err = _out_path_error(args.sarif_out, "--sarif-out")
+        if err is not None:
+            return err, 2
+        with open(args.sarif_out, "w", encoding="utf-8") as fh:
+            fh.write(sarif_json(result.findings, "repro-simcheck"))
+            fh.write("\n")
+    if args.format == "sarif":
+        return sarif_json(result.findings, "repro-simcheck"), code
+    if args.format == "json":
+        return _json.dumps({
+            "paths": paths,
+            "baseline": baseline_path,
+            "clean": result.clean,
+            "stats": result.stats,
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.matched_baseline),
+            "expired": [e.as_dict() for e in result.expired],
+        }, indent=2), code
+    lines = [f.render() for f in result.findings]
+    for entry in result.expired:
+        lines.append(f"{entry.path}: baseline entry {entry.fingerprint} "
+                     f"({entry.rule}) no longer matches any finding — "
+                     f"remove it (baselines only shrink)")
+    stats = result.stats
+    summary = (f"{stats.get('modules', 0)} module(s), "
+               f"{stats.get('functions', 0)} function(s), "
+               f"{stats.get('generators', 0)} generator(s), "
+               f"{stats.get('process_functions', 0)} sim process(es)")
+    if result.clean:
+        tail = []
+        if result.matched_baseline:
+            tail.append(f"{len(result.matched_baseline)} baselined")
+        if result.suppressed:
+            tail.append(f"{len(result.suppressed)} suppressed")
+        lines.append(f"simcheck clean: {summary}"
+                     + (f" ({', '.join(tail)})" if tail else ""))
+    else:
+        lines.append(f"simcheck: {len(result.findings)} finding(s), "
+                     f"{len(result.expired)} expired baseline entr(ies) — "
+                     f"{summary}")
     return "\n".join(lines), code
 
 
@@ -884,6 +985,7 @@ _COMMANDS = {"migrate": _cmd_migrate, "compare": _cmd_compare,
              "observe": _cmd_observe, "validate": _cmd_validate,
              "critical-path": _cmd_critical_path, "bench": _cmd_bench,
              "sanitize": _cmd_sanitize, "lint": _cmd_lint,
+             "simcheck": _cmd_simcheck,
              "report": _cmd_report, "runs": _cmd_runs,
              "explain": _cmd_explain}
 

@@ -28,16 +28,21 @@ Five rules, all pure ``ast`` (no third-party dependencies):
 emit site, so a kind declared in the schema that no code emits — or
 emitted but never declared — is a lint finding (``emitter-drift``),
 keeping the registry honest in both directions.
+
+The rules live in the shared framework (:mod:`repro.sanitize.rules`):
+each has a stable id (``LNT001``–``LNT007``), a severity, and inline
+``# repro: noqa[RULE-ID]`` suppression support, all shared with the
+``repro simcheck`` analyzer.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..simulate.schema import SPAN_KINDS, TRACE_SCHEMA, validate_emitters
+from .rules import Finding, apply_suppressions, iter_python_files
 
 __all__ = ["Finding", "lint_source", "lint_paths", "collect_emitted_kinds",
            "iter_python_files"]
@@ -74,24 +79,6 @@ def _wallclock_exempt(path: str) -> bool:
     """
     norm = path.replace(os.sep, "/")
     return "/obs/" in norm or norm.startswith("obs/")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint problem, pointing at a file/line."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-    def as_dict(self) -> dict:
-        return {"path": self.path, "line": self.line, "col": self.col,
-                "code": self.code, "message": self.message}
 
 
 def _const_str(node: ast.AST) -> Optional[str]:
@@ -252,6 +239,33 @@ class _ImportUsageVisitor(ast.NodeVisitor):
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         self._note_annotation(node.annotation)
+        # ``Alias: TypeAlias = "Bar"`` — the *value* is the forward
+        # reference; a name used only there was reported as unused.
+        ann = node.annotation
+        ann_name = ann.attr if isinstance(ann, ast.Attribute) else (
+            ann.id if isinstance(ann, ast.Name) else None)
+        if ann_name == "TypeAlias":
+            self._note_annotation(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # String forward references in typing *calls* count as use, same
+        # as annotation position: ``cast("Bar", x)``, ``TypeVar("T",
+        # bound="Bar")`` and ``NewType("N", "Bar")`` all resolve their
+        # string at type-checking time.
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name == "cast" and node.args:
+            self._note_annotation(node.args[0])
+        elif name == "NewType" and len(node.args) >= 2:
+            self._note_annotation(node.args[1])
+        elif name == "TypeVar":
+            for kw in node.keywords:
+                if kw.arg == "bound":
+                    self._note_annotation(kw.value)
+            for arg in node.args[1:]:  # constraint positions
+                self._note_annotation(arg)
         self.generic_visit(node)
 
     def visit_arg(self, node: ast.arg) -> None:
@@ -269,7 +283,12 @@ class _ImportUsageVisitor(ast.NodeVisitor):
 
 def lint_source(source: str, path: str = "<string>",
                 check_imports: bool = True) -> Tuple[List[Finding], List[str]]:
-    """Lint one module's source; returns (findings, emitted kinds)."""
+    """Lint one module's source; returns (findings, emitted kinds).
+
+    Inline ``# repro: noqa[RULE-ID]`` comments on a finding's line
+    suppress it; stale or unknown suppressions surface as MET-rule
+    findings (see :mod:`repro.sanitize.rules`).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -288,6 +307,8 @@ def lint_source(source: str, path: str = "<string>",
             if name not in usage.used and name not in exported:
                 findings.append(Finding(path, line, col, "unused-import",
                                         f"{name!r} imported but unused"))
+    findings, _suppressed = apply_suppressions(findings, path, source,
+                                               tool="lint")
     return findings, emits.emitted
 
 
@@ -300,21 +321,6 @@ def _module_all(tree: ast.Module) -> List[str]:
             return [v for el in node.value.elts
                     if (v := _const_str(el)) is not None]
     return []
-
-
-def iter_python_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories to a sorted list of ``.py`` files."""
-    out: List[str] = []
-    for path in paths:
-        if os.path.isdir(path):
-            for root, dirs, files in os.walk(path):
-                dirs[:] = sorted(d for d in dirs
-                                 if d not in ("__pycache__", ".git"))
-                out.extend(os.path.join(root, f) for f in sorted(files)
-                           if f.endswith(".py"))
-        elif path.endswith(".py"):
-            out.append(path)
-    return sorted(set(out))
 
 
 def collect_emitted_kinds(files: Iterable[str]) -> List[str]:

@@ -1,0 +1,37 @@
+"""SimCheck: interprocedural determinism & yield-point race analyzer.
+
+The dynamic sanitizer (:mod:`repro.sanitize.checker`) catches protocol
+violations a run actually commits; SimCheck catches the bug *classes*
+that threaten the byte-identical-trace guarantee before any run happens,
+by static analysis over the simulation sources:
+
+* a module-level **call graph** identifying simulation-process
+  functions — generators handed to ``Simulator.spawn`` (directly or
+  through ``yield from`` chains) — and trace/metrics emit sites
+  (:mod:`.callgraph`);
+* a **yield-point race detector** — shared state read before a ``yield``
+  and written back after it from the stale value, and shared containers
+  iterated across a yield while other code mutates them (:mod:`.races`);
+* a **determinism dataflow pass** — set-iteration order, ``id()``-derived
+  values, or unseeded-RNG draws flowing into ``schedule()``/``succeed``,
+  trace emission, or flow-completion ordering (:mod:`.determinism`) —
+  the ``Flow.seq`` fix from the kernel sweep, generalized into a
+  checked invariant;
+* a **span-balance pass** — every code path that starts a tracer span
+  must scope it with ``with`` (or hand it off) so ``.end`` records
+  always pair (:mod:`.spans`).
+
+Rules carry stable ``SIM###`` ids in the shared framework
+(:mod:`repro.sanitize.rules`), honor ``# repro: noqa[ID]`` suppressions,
+and diff against the committed findings baseline
+(``benchmarks/simcheck_baseline.json``).  CLI: ``repro simcheck``; docs:
+``docs/static-analysis.md``.
+"""
+
+from .analyzer import SimcheckResult, simcheck_paths, simcheck_source
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, parse_modules
+
+__all__ = [
+    "SimcheckResult", "simcheck_paths", "simcheck_source",
+    "CallGraph", "FunctionInfo", "ModuleInfo", "parse_modules",
+]

@@ -1,0 +1,347 @@
+"""Determinism dataflow pass (SIM201, SIM202, SIM203).
+
+The repo's north star is byte-identical traces for a fixed scenario
+seed.  Three value families silently break that guarantee the moment
+they reach an *ordering-sensitive sink* — ``schedule``/``succeed`` (event
+order), trace/metrics emission (file bytes), or flow bookkeeping:
+
+* **SIM201 set-order-dependence** — iterating a ``set``/``frozenset``
+  (or a list built from one) while calling a sink per element.  Set
+  iteration order follows the id-hash layout and varies run to run;
+  this is exactly the bug the ``Flow.seq`` sort fixed in the fluid
+  network's completion handler, generalized into a checked invariant.
+  ``sorted(...)`` iterables and ``.sort()``-ed lists are clean.
+
+* **SIM202 id-order-dependence** — ``id()``-derived values flowing into
+  sinks or used as sort keys (``key=id``).  CPython ids are allocation
+  addresses: stable within a run, different across runs.
+
+* **SIM203 unseeded-rng-flow** — draws from ``random.Random()`` /
+  ``numpy.random.default_rng()`` constructed *without* a seed (or from
+  the global ``random`` module) reaching a sink.  Seeded constructions
+  are the sanctioned pattern and stay clean.
+
+The pass is a per-function, statement-ordered taint interpretation:
+assignments transfer membership in the four taint families
+(set-typed, order-tainted, id-tainted, rng-tainted), ``sorted()`` and
+``.sort()`` launder order taint, and sink call sites check their
+arguments and enclosing loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..rules import Finding
+from .callgraph import CallGraph, FunctionInfo
+
+__all__ = ["check_determinism", "SINK_NAMES"]
+
+#: Callables whose *argument order / call order* becomes simulation
+#: behavior or trace bytes.
+SINK_NAMES = {
+    "schedule", "_schedule", "succeed", "succeed_later", "fail",
+    "spawn", "process", "interrupt", "record", "push", "transfer",
+    "link", "annotate",
+}
+
+_SET_CTORS = {"set", "frozenset"}
+_SEQ_CTORS = {"list", "tuple"}
+_RNG_CTORS = {"default_rng", "Random"}
+_GLOBAL_RANDOM_DRAWS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "expovariate",
+    "betavariate", "paretovariate",
+}
+#: Consumers that are insensitive to element order.
+_ORDER_NEUTRAL = {"sorted", "len", "sum", "min", "max", "any", "all",
+                  "set", "frozenset"}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _own_nodes(node: ast.AST) -> List[ast.AST]:
+    out: List[ast.AST] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+class _FunctionDeterminism:
+    def __init__(self, fn: FunctionInfo, graph: CallGraph):
+        self.fn = fn
+        self.graph = graph
+        self.findings: List[Finding] = []
+        self.set_locals: Set[str] = set()
+        self.order_tainted: Set[str] = set()
+        self.id_tainted: Set[str] = set()
+        self.rng_objs: Set[str] = set()
+        self.rng_tainted: Set[str] = set()
+
+    # -- expression classification -------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_locals
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.graph.set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _SET_CTORS:
+                return True
+            if name == "copy" and isinstance(node.func, ast.Attribute):
+                return self._is_set_expr(node.func.value)
+            if name == "enumerate" and node.args:
+                return self._is_set_expr(node.args[0])
+        return False
+
+    def _is_order_tainted(self, node: ast.AST) -> bool:
+        """Sequence whose *element order* derives from set iteration."""
+        if isinstance(node, ast.Starred):
+            return self._is_order_tainted(node.value)
+        if isinstance(node, ast.Name):
+            return node.id in self.order_tainted
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            gen = node.generators[0]
+            return (self._is_set_expr(gen.iter)
+                    or self._is_order_tainted(gen.iter))
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _SEQ_CTORS and node.args:
+                return (self._is_set_expr(node.args[0])
+                        or self._is_order_tainted(node.args[0]))
+        return False
+
+    def _is_id_tainted(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.id_tainted
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name == "id" and isinstance(node.func, ast.Name):
+                return True
+        if isinstance(node, ast.BinOp):
+            return (self._is_id_tainted(node.left)
+                    or self._is_id_tainted(node.right))
+        return False
+
+    def _is_rng_draw(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.rng_tainted
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (isinstance(func.value, ast.Name)
+                        and func.value.id in self.rng_objs):
+                    return True
+                if (isinstance(func.value, ast.Name)
+                        and func.value.id == "random"
+                        and func.attr in _GLOBAL_RANDOM_DRAWS):
+                    return True
+        if isinstance(node, ast.BinOp):
+            return (self._is_rng_draw(node.left)
+                    or self._is_rng_draw(node.right))
+        return False
+
+    def _is_unseeded_rng_ctor(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        if _call_name(node) not in _RNG_CTORS:
+            return False
+        has_seed = bool(node.args) or any(
+            kw.arg in ("seed", "x") for kw in node.keywords)
+        return not has_seed
+
+    # -- findings ------------------------------------------------------------
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            self.fn.path, node.lineno, node.col_offset, code,
+            f"{self.fn.qualname} {message}"))
+
+    def _describe_iter(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Attribute):
+            return f"set attribute .{node.attr}"
+        if isinstance(node, ast.Name):
+            return f"{node.id!r}"
+        return "a set expression"
+
+    def _check_sink_call(self, call: ast.Call) -> None:
+        name = _call_name(call)
+        if name in ("sorted", "min", "max") or (
+                name == "sort" and isinstance(call.func, ast.Attribute)):
+            for kw in call.keywords:
+                if kw.arg != "key":
+                    continue
+                key = kw.value
+                is_id_key = (isinstance(key, ast.Name) and key.id == "id") \
+                    or (isinstance(key, ast.Lambda)
+                        and any(isinstance(sub, ast.Call)
+                                and _call_name(sub) == "id"
+                                for sub in ast.walk(key.body)))
+                if is_id_key:
+                    self._emit(
+                        "id-order-dependence", call,
+                        "sorts with an id()-based key — object ids vary "
+                        "across runs; key on a stable field (e.g. a "
+                        "start-order sequence number) instead")
+        if name not in SINK_NAMES:
+            return
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            if self._is_order_tainted(value):
+                self._emit(
+                    "set-order-dependence", call,
+                    f"passes a set-ordered sequence to {name}() — element "
+                    f"order varies run to run; sort it first (the Flow.seq "
+                    f"pattern)")
+            if self._is_id_tainted(value):
+                self._emit(
+                    "id-order-dependence", call,
+                    f"passes an id()-derived value to {name}() — object "
+                    f"ids vary across runs; use a stable identifier")
+            if self._is_rng_draw(value):
+                self._emit(
+                    "unseeded-rng-flow", call,
+                    f"passes an unseeded-RNG draw to {name}() — draws "
+                    f"vary run to run; use the scenario-seeded generator")
+
+    def _sink_in(self, stmts: List[ast.stmt]) -> Optional[str]:
+        for stmt in stmts:
+            for sub in _own_nodes(stmt) + [stmt]:
+                if isinstance(sub, ast.Call) \
+                        and _call_name(sub) in SINK_NAMES:
+                    return _call_name(sub)
+        return None
+
+    # -- statement walk ------------------------------------------------------
+    def run(self) -> List[Finding]:
+        self._walk(list(getattr(self.fn.node, "body", [])))
+        return self.findings
+
+    def _walk(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _scan_exprs(self, *exprs: Optional[ast.AST]) -> None:
+        for expr in exprs:
+            if expr is None:
+                continue
+            for sub in [expr] + _own_nodes(expr):
+                if isinstance(sub, ast.Call):
+                    self._check_sink_call(sub)
+
+    def _clear(self, name: str) -> None:
+        self.set_locals.discard(name)
+        self.order_tainted.discard(name)
+        self.id_tainted.discard(name)
+        self.rng_objs.discard(name)
+        self.rng_tainted.discard(name)
+
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, ast.Constant(value=None))
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        self._clear(name)
+        if self._is_set_expr(value):
+            self.set_locals.add(name)
+        elif self._is_order_tainted(value):
+            self.order_tainted.add(name)
+        elif self._is_id_tainted(value):
+            self.id_tainted.add(name)
+        elif self._is_unseeded_rng_ctor(value):
+            self.rng_objs.add(name)
+        elif self._is_rng_draw(value):
+            self.rng_tainted.add(name)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._scan_exprs(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_exprs(stmt.value)
+                self._bind(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan_exprs(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._scan_exprs(stmt.value)
+            # ``x.sort()`` launders order taint in place.
+            value = stmt.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "sort"
+                    and isinstance(value.func.value, ast.Name)):
+                self.order_tainted.discard(value.func.value.id)
+        elif isinstance(stmt, ast.For):
+            self._scan_exprs(stmt.iter)
+            if self._is_set_expr(stmt.iter) \
+                    or self._is_order_tainted(stmt.iter):
+                sink = self._sink_in(stmt.body)
+                if sink is not None:
+                    self._emit(
+                        "set-order-dependence", stmt,
+                        f"iterates {self._describe_iter(stmt.iter)} in set "
+                        f"order and calls {sink}() per element — iteration "
+                        f"order varies run to run; iterate "
+                        f"sorted(..., key=...) instead (the Flow.seq "
+                        f"pattern)")
+            # Loop vars hold *elements* (order-neutral values); clear them.
+            for sub in ast.walk(stmt.target):
+                if isinstance(sub, ast.Name):
+                    self._clear(sub.id)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._scan_exprs(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._scan_exprs(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_exprs(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            self._scan_exprs(*[getattr(stmt, attr, None)
+                               for attr in ("value", "exc", "test", "msg")])
+        # Nested function definitions get no taint context from the
+        # enclosing scope; skip them quietly.
+
+
+def check_determinism(graph: CallGraph) -> List[Finding]:
+    """Run the SIM2xx taint pass over every function in the tree."""
+    findings: List[Finding] = []
+    for fn in graph.functions.values():
+        findings.extend(_FunctionDeterminism(fn, graph).run())
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,292 @@
+"""Yield-point race detection (SIM101, SIM102).
+
+A simulation process is a generator: every ``yield`` is a point where
+the event loop runs *other* processes before resuming this one.  Shared
+state — ``self`` attributes and module-level mutable globals — observed
+before a yield is therefore stale after it.  Two concrete bug shapes:
+
+* **SIM101 yield-stale-write** — the lost-update pattern::
+
+      count = self.inflight        # read
+      yield sim.timeout(dt)        # other processes run, mutate inflight
+      self.inflight = count + 1    # write-back from the stale read
+
+  The pass runs a small abstract interpretation over each generator
+  body: locals are tainted with the shared locations they were read
+  from and the number of yields seen at read time; a write to the same
+  location whose value derives from a taint older than the current
+  yield count is a finding.  Re-reading the location after the last
+  yield (the event-ordering idiom) clears the hazard, as does the
+  atomic ``self.x += ...`` form.
+
+* **SIM102 iter-mutation-hazard** — a ``for`` loop over a shared
+  container whose body yields, while any other method mutates that
+  container.  During the yield window the mutator can run, and
+  ``RuntimeError: Set changed size during iteration`` (or silent skip
+  of elements) follows.  Iterating a snapshot (``list(self.x)``,
+  ``sorted(self.x)``) is the sanctioned fix and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rules import Finding
+from .callgraph import CallGraph, FunctionInfo, shared_key
+
+__all__ = ["check_races"]
+
+#: Method names that mutate the container they are called on.
+_MUTATORS = {
+    "add", "remove", "discard", "append", "appendleft", "extend",
+    "insert", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "remove_node", "sort", "reverse",
+}
+
+#: Taint map: local name -> {shared key: yield count at read}.
+_Taint = Dict[str, Dict[str, int]]
+
+
+class _State:
+    __slots__ = ("yields", "taint")
+
+    def __init__(self) -> None:
+        self.yields = 0
+        self.taint: _Taint = {}
+
+    def copy(self) -> "_State":
+        st = _State()
+        st.yields = self.yields
+        st.taint = {k: dict(v) for k, v in self.taint.items()}
+        return st
+
+    def merge(self, other: "_State") -> None:
+        self.yields = max(self.yields, other.yields)
+        for name, keys in other.taint.items():
+            mine = self.taint.setdefault(name, {})
+            for key, yc in keys.items():
+                mine[key] = min(mine.get(key, yc), yc)
+
+
+def _own_nodes(node: ast.AST) -> List[ast.AST]:
+    """All descendants excluding nested function/lambda bodies."""
+    out: List[ast.AST] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def _count_yields(node: ast.AST) -> int:
+    return sum(1 for sub in _own_nodes(node)
+               if isinstance(sub, (ast.Yield, ast.YieldFrom)))
+
+
+class _FunctionRaces:
+    """SIM101 abstract interpretation over one generator body."""
+
+    def __init__(self, fn: FunctionInfo, graph: CallGraph):
+        self.fn = fn
+        self.graph = graph
+        self.findings: List[Finding] = []
+
+    # -- expression helpers --------------------------------------------------
+    def _shared_reads(self, expr: ast.AST) -> Set[str]:
+        """Shared keys read anywhere inside ``expr``."""
+        keys: Set[str] = set()
+        for sub in [expr] + _own_nodes(expr):
+            sk = shared_key(self.fn, sub, self.graph)
+            if sk is not None and isinstance(getattr(sub, "ctx", ast.Load()),
+                                             ast.Load):
+                keys.add(sk[1])
+        return keys
+
+    def _referenced_locals(self, expr: ast.AST) -> Set[str]:
+        return {sub.id for sub in [expr] + _own_nodes(expr)
+                if isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)}
+
+    def _value_taint(self, expr: ast.AST, state: _State) -> Dict[str, int]:
+        """Taint the RHS of an assignment confers on its target."""
+        merged: Dict[str, int] = {}
+        for key in self._shared_reads(expr):
+            merged[key] = min(merged.get(key, state.yields), state.yields)
+        for name in self._referenced_locals(expr):
+            for key, yc in state.taint.get(name, {}).items():
+                merged[key] = min(merged.get(key, yc), yc)
+        return merged
+
+    def _check_write(self, target: ast.AST, value: ast.AST,
+                     state: _State, stmt: ast.stmt) -> None:
+        sk = shared_key(self.fn, target, self.graph)
+        if sk is None:
+            return
+        key = sk[1]
+        for name in self._referenced_locals(value):
+            yc = state.taint.get(name, {}).get(key)
+            if yc is not None and yc < state.yields:
+                self.findings.append(Finding(
+                    self.fn.path, stmt.lineno, stmt.col_offset,
+                    "yield-stale-write",
+                    f"{self.fn.qualname} writes {key} from local "
+                    f"{name!r} read before an earlier yield — the value "
+                    f"is stale once other processes ran; re-read after "
+                    f"the yield (or restructure the read-modify-write "
+                    f"to not span it)"))
+
+    # -- statement walk ------------------------------------------------------
+    def run(self) -> List[Finding]:
+        state = _State()
+        self._walk(list(getattr(self.fn.node, "body", [])), state)
+        return self.findings
+
+    def _walk(self, stmts: List[ast.stmt], state: _State) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, state)
+
+    def _assign_targets(self, targets: List[ast.AST], value: ast.AST,
+                        state: _State, stmt: ast.stmt) -> None:
+        value_taint = self._value_taint(value, state)
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._assign_targets(list(target.elts), value, state, stmt)
+                continue
+            if isinstance(target, ast.Name):
+                if value_taint:
+                    state.taint[target.id] = dict(value_taint)
+                else:
+                    state.taint.pop(target.id, None)
+            else:
+                self._check_write(target, value, state, stmt)
+
+    def _stmt(self, stmt: ast.stmt, state: _State) -> None:
+        # A yield anywhere in the statement resumes *after* other
+        # processes ran, so it counts before the statement's writes.
+        n_yields = _count_yields(stmt) if not isinstance(
+            stmt, (ast.If, ast.For, ast.While, ast.Try, ast.With)) else 0
+        state.yields += n_yields
+
+        if isinstance(stmt, ast.Assign):
+            self._assign_targets(stmt.targets, stmt.value, state, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign_targets([stmt.target], stmt.value, state, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            # ``self.x += tmp`` re-reads at write time: atomic, no
+            # hazard.  The target's local taint (if a Name) goes stale.
+            if isinstance(stmt.target, ast.Name):
+                state.taint.pop(stmt.target.id, None)
+        elif isinstance(stmt, ast.If):
+            state.yields += _count_yields(stmt.test)
+            body_state = state.copy()
+            self._walk(stmt.body, body_state)
+            else_state = state.copy()
+            self._walk(stmt.orelse, else_state)
+            state.yields = 0  # rebuilt by merge
+            state.taint = {}
+            state.merge(body_state)
+            state.merge(else_state)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                state.yields += _count_yields(stmt.iter)
+                self._assign_targets([stmt.target], stmt.iter, state, stmt)
+                # The loop variable is fresh each iteration, never a
+                # stale shared read.
+                for tgt in ast.walk(stmt.target):
+                    if isinstance(tgt, ast.Name):
+                        state.taint.pop(tgt.id, None)
+            else:
+                state.yields += _count_yields(stmt.test)
+            # Two passes over the body so a read late in iteration k
+            # feeding a write early in iteration k+1 (across the back
+            # edge) is still seen.
+            self._walk(stmt.body, state)
+            self._walk(stmt.body, state)
+            self._walk(stmt.orelse, state)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body, state)
+            for handler in stmt.handlers:
+                handler_state = state.copy()
+                self._walk(handler.body, handler_state)
+                state.merge(handler_state)
+            self._walk(stmt.orelse, state)
+            self._walk(stmt.finalbody, state)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                state.yields += _count_yields(item.context_expr)
+            self._walk(stmt.body, state)
+        # Return/Expr/Raise/etc.: yields already counted above.
+
+
+# -- SIM102: iterate-while-mutating ------------------------------------------
+
+def _collect_mutation_sites(graph: CallGraph) -> Dict[str, List[Tuple[str, int]]]:
+    """{shared key: [(mutating qualname, line), ...]} across the tree."""
+    sites: Dict[str, List[Tuple[str, int]]] = {}
+
+    def note(key: Optional[Tuple[str, str]], fn: FunctionInfo,
+             line: int) -> None:
+        if key is not None:
+            sites.setdefault(key[1], []).append((fn.qualname, line))
+
+    for fn in graph.functions.values():
+        for sub in _own_nodes(fn.node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATORS):
+                    note(shared_key(fn, func.value, graph), fn, sub.lineno)
+            elif isinstance(sub, (ast.Assign, ast.Delete)):
+                targets = sub.targets
+                for tgt in targets:
+                    if isinstance(tgt, ast.Subscript):
+                        note(shared_key(fn, tgt.value, graph), fn,
+                             sub.lineno)
+    return sites
+
+
+def _check_iter_mutation(graph: CallGraph) -> List[Finding]:
+    sites = _collect_mutation_sites(graph)
+    findings: List[Finding] = []
+    if not sites:
+        return findings
+    for fn in graph.functions.values():
+        if not fn.is_generator:
+            continue
+        for sub in _own_nodes(fn.node):
+            if not isinstance(sub, ast.For):
+                continue
+            sk = shared_key(fn, sub.iter, graph)
+            if sk is None:
+                continue
+            if _count_yields(ast.Module(body=sub.body,
+                                        type_ignores=[])) == 0:
+                continue
+            mutators = [(qual, line) for qual, line in sites.get(sk[1], [])
+                        if qual != fn.qualname]
+            if not mutators:
+                continue
+            who = ", ".join(sorted({qual for qual, _ in mutators}))
+            findings.append(Finding(
+                fn.path, sub.lineno, sub.col_offset,
+                "iter-mutation-hazard",
+                f"{fn.qualname} iterates shared container {sk[1]} across "
+                f"a yield while {who} mutates it; iterate a snapshot "
+                f"(list(...)/sorted(...)) instead"))
+    return findings
+
+
+def check_races(graph: CallGraph) -> List[Finding]:
+    """Run SIM101 over every generator and SIM102 over the module set."""
+    findings: List[Finding] = []
+    for fn in graph.functions.values():
+        if fn.is_generator:
+            findings.extend(_FunctionRaces(fn, graph).run())
+    findings.extend(_check_iter_mutation(graph))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,182 @@
+"""Span-balance pass (SIM301).
+
+Tracer spans are context managers: ``Span.__enter__`` records the
+``span.start`` trace record and ``__exit__`` the ``span.end``.  A span
+that is *started* but never scoped leaks an unbalanced ``start`` into
+the trace and skews every duration rollup built on it.  The pass checks
+each ``.span(...)`` call site for one of the sanctioned shapes:
+
+* used directly as a ``with`` context expression;
+* assigned to a local that is later used as a ``with`` context
+  expression in the same function;
+* returned (handoff — the caller owns scoping, as ``Tracer.span``
+  itself does);
+* passed to ``contextlib``'s ``enter_context`` (an ExitStack owns it);
+* manually entered via ``__enter__`` *with* a matching ``__exit__``
+  inside a ``finally`` block;
+* stored on ``self`` with some method of the same class calling
+  ``self.<attr>.__exit__`` — the cross-method lifetime pattern the
+  migration pipeline uses for its ``pipeline.run`` span.
+
+Anything else — a bare ``tracer.span(...)`` expression statement, an
+assignment that is never entered, or an ``__enter__`` without a
+``finally``-guarded ``__exit__`` — is a SIM301 finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from ..rules import Finding
+from .callgraph import CallGraph, FunctionInfo
+
+__all__ = ["check_spans"]
+
+#: Key for "attrs of this class that some method __exit__s".
+_ClassKey = Tuple[str, str]
+
+
+def _own_nodes(node: ast.AST) -> List[ast.AST]:
+    out: List[ast.AST] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span")
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``"X"`` for a ``self.X`` expression, else ``""``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return ""
+
+
+def _check_function(fn: FunctionInfo,
+                    class_exited: Set[str]) -> List[Finding]:
+    nodes = _own_nodes(fn.node)
+    span_calls = [n for n in nodes if _is_span_call(n)]
+    if not span_calls:
+        return []
+
+    with_calls: Set[int] = set()       # span calls used as with-items
+    with_names: Set[str] = set()       # names used as with-items
+    returned: Set[int] = set()         # span calls handed to the caller
+    wrapped: Set[int] = set()          # enter_context(tracer.span(...))
+    assigned_to = {}                   # id(span call) -> local name
+    assigned_attr = {}                 # id(span call) -> self attr name
+    entered: Set[str] = set()          # names with .__enter__() called
+    exited_finally: Set[str] = set()   # names .__exit__-ed in a finally
+
+    for node in nodes:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if _is_span_call(expr):
+                    with_calls.add(id(expr))
+                elif isinstance(expr, ast.Name):
+                    with_names.add(expr.id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _is_span_call(node.value):
+                returned.add(id(node.value))
+        elif isinstance(node, ast.Call):
+            name = node.func.attr if isinstance(node.func, ast.Attribute) \
+                else (node.func.id if isinstance(node.func, ast.Name)
+                      else None)
+            if name == "enter_context":
+                for arg in node.args:
+                    if _is_span_call(arg):
+                        wrapped.add(id(arg))
+            elif name == "__enter__" and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name):
+                entered.add(node.func.value.id)
+        elif isinstance(node, ast.Assign) and _is_span_call(node.value):
+            if len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    assigned_to[id(node.value)] = target.id
+                elif _self_attr(target):
+                    assigned_attr[id(node.value)] = _self_attr(target)
+        elif isinstance(node, ast.Try):
+            for sub in node.finalbody:
+                for call in ast.walk(sub):
+                    if (isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr == "__exit__"
+                            and isinstance(call.func.value, ast.Name)):
+                        exited_finally.add(call.func.value.id)
+
+    findings: List[Finding] = []
+    for call in span_calls:
+        key = id(call)
+        if key in with_calls or key in returned or key in wrapped:
+            continue
+        attr = assigned_attr.get(key)
+        if attr is not None:
+            if attr in class_exited:
+                continue
+            findings.append(Finding(
+                fn.path, call.lineno, call.col_offset, "span-unbalanced",
+                f"{fn.qualname} stores a span on self.{attr} but no "
+                f"method of the class calls self.{attr}.__exit__ — the "
+                f"span.start record is never balanced"))
+            continue
+        name = assigned_to.get(key)
+        if name is not None:
+            if name in with_names:
+                continue
+            if name in entered and name in exited_finally:
+                continue
+            if name in entered:
+                message = (f"enters span {name!r} manually without a "
+                           f"finally-guarded __exit__ — an exception "
+                           f"leaks an unbalanced span.start record; use "
+                           f"'with' or add try/finally")
+            else:
+                message = (f"assigns a span to {name!r} but never scopes "
+                           f"it with 'with' — the span.start record is "
+                           f"never balanced by span.end")
+        else:
+            message = ("starts a span but discards the context manager — "
+                       "wrap the call in 'with' (or return it) so "
+                       "span.start/span.end records pair")
+        findings.append(Finding(
+            fn.path, call.lineno, call.col_offset, "span-unbalanced",
+            f"{fn.qualname} {message}"))
+    return findings
+
+
+def check_spans(graph: CallGraph) -> List[Finding]:
+    """Check every function's ``.span(...)`` sites for balanced scoping."""
+    # Class-level pairing: which self attributes does *some* method of
+    # each class call ``.__exit__`` on?
+    exited: Dict[_ClassKey, Set[str]] = {}
+    for fn in graph.functions.values():
+        if fn.class_name is None:
+            continue
+        for node in _own_nodes(fn.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "__exit__"
+                    and _self_attr(node.func.value)):
+                exited.setdefault((fn.module, fn.class_name),
+                                  set()).add(_self_attr(node.func.value))
+    findings: List[Finding] = []
+    for fn in graph.functions.values():
+        class_exited = exited.get((fn.module, fn.class_name or ""), set())
+        findings.extend(_check_function(fn, class_exited))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -172,6 +172,49 @@ def test_quoted_annotation_counts_as_use():
     """) == []
 
 
+def test_cast_string_argument_counts_as_use():
+    assert codes("""
+        from typing import TYPE_CHECKING, cast
+        if TYPE_CHECKING:
+            from foo import Bar
+
+        def go(x):
+            return cast("Bar", x)
+    """) == []
+
+
+def test_type_alias_string_value_counts_as_use():
+    assert codes("""
+        from typing import TYPE_CHECKING, TypeAlias
+        if TYPE_CHECKING:
+            from foo import Bar
+
+        Pair: TypeAlias = "Bar"
+    """) == []
+
+
+def test_newtype_and_typevar_string_bounds_count_as_use():
+    assert codes("""
+        from typing import TYPE_CHECKING, NewType, TypeVar
+        if TYPE_CHECKING:
+            from foo import Bar, Baz
+
+        Handle = NewType("Handle", "Bar")
+        T = TypeVar("T", bound="Baz")
+    """) == []
+
+
+def test_nested_string_annotation_counts_as_use():
+    assert codes("""
+        from typing import TYPE_CHECKING, List
+        if TYPE_CHECKING:
+            from foo import Bar
+
+        def go(xs: "List[Bar]"):
+            return xs
+    """) == []
+
+
 def test_docstring_mention_is_not_a_use():
     assert codes('''
         from foo import Bar

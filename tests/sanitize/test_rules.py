@@ -1,0 +1,241 @@
+"""The shared static-analysis rule framework: registry, suppressions,
+baseline, file collection and SARIF serialization."""
+
+import json
+import os
+
+import pytest
+
+from repro.sanitize.rules import (
+    RULES,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    apply_baseline,
+    apply_suppressions,
+    finding_fingerprint,
+    iter_python_files,
+    load_baseline,
+    parse_suppressions,
+    rule_by_code,
+    write_baseline,
+)
+from repro.sanitize.sarif import sarif_json, to_sarif
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_rule_ids_are_stable_and_unique():
+    ids = list(RULES)
+    assert len(ids) == len(set(ids))
+    codes = [spec.code for spec in RULES.values()]
+    assert len(codes) == len(set(codes))
+    # The published catalog: renumbering any of these breaks
+    # suppressions, baselines and SARIF consumers.
+    for rule_id in ("LNT001", "LNT003", "LNT004", "SIM101", "SIM102",
+                    "SIM201", "SIM202", "SIM203", "SIM301", "MET001",
+                    "MET002"):
+        assert rule_id in RULES
+
+
+def test_every_rule_has_severity_and_tool():
+    for spec in RULES.values():
+        assert spec.severity in ("error", "warning")
+        assert spec.tool in ("lint", "simcheck", "meta")
+        assert spec.summary
+
+
+def test_finding_resolves_rule_metadata():
+    f = Finding("x.py", 3, 0, "set-order-dependence", "boom")
+    assert f.rule_id == "SIM201"
+    assert f.severity == "error"
+    assert "SIM201" in f.render()
+    assert rule_by_code("set-order-dependence").id == "SIM201"
+
+
+# -- suppressions ------------------------------------------------------------
+
+def test_parse_suppressions_reads_comment_tokens():
+    src = "x = 1  # repro: noqa[SIM201]\ny = 2\n"
+    assert parse_suppressions(src) == {1: ["SIM201"]}
+
+
+def test_parse_suppressions_ignores_docstrings():
+    src = '"""Use # repro: noqa[SIM201] to silence a finding."""\nx = 1\n'
+    assert parse_suppressions(src) == {}
+
+
+def test_parse_suppressions_multiple_ids():
+    src = "x = 1  # repro: noqa[SIM201, wall-clock]\n"
+    assert parse_suppressions(src) == {1: ["SIM201", "wall-clock"]}
+
+
+def test_suppression_silences_matching_finding():
+    src = "x = 1  # repro: noqa[SIM201]\n"
+    findings = [Finding("f.py", 1, 0, "set-order-dependence", "boom")]
+    kept, suppressed = apply_suppressions(findings, "f.py", src,
+                                          tool="simcheck")
+    assert kept == []
+    assert len(suppressed) == 1
+
+
+def test_suppression_by_slug_also_matches():
+    src = "x = 1  # repro: noqa[set-order-dependence]\n"
+    findings = [Finding("f.py", 1, 0, "set-order-dependence", "boom")]
+    kept, _ = apply_suppressions(findings, "f.py", src, tool="simcheck")
+    assert kept == []
+
+
+def test_unknown_suppression_is_a_finding():
+    src = "x = 1  # repro: noqa[NOPE999]\n"
+    kept, _ = apply_suppressions([], "f.py", src, tool="simcheck")
+    assert [f.code for f in kept] == ["unknown-suppression"]
+
+
+def test_unused_suppression_is_a_finding():
+    src = "x = 1  # repro: noqa[SIM201]\n"
+    kept, _ = apply_suppressions([], "f.py", src, tool="simcheck")
+    assert [f.code for f in kept] == ["unused-suppression"]
+
+
+def test_unused_suppression_is_tool_scoped():
+    # A simcheck noqa in a file lint also scans must not read as unused
+    # to lint — lint never evaluates SIM rules there.
+    src = "x = 1  # repro: noqa[SIM201]\n"
+    kept, _ = apply_suppressions([], "f.py", src, tool="lint")
+    assert kept == []
+
+
+def test_empty_suppression_brackets_flagged():
+    src = "x = 1  # repro: noqa[]\n"
+    kept, _ = apply_suppressions([], "f.py", src, tool="simcheck")
+    assert [f.code for f in kept] == ["unused-suppression"]
+
+
+def test_suppression_on_other_line_does_not_match():
+    src = "x = 1  # repro: noqa[SIM201]\ny = 2\n"
+    findings = [Finding("f.py", 2, 0, "set-order-dependence", "boom")]
+    kept, _ = apply_suppressions(findings, "f.py", src, tool="simcheck")
+    codes = sorted(f.code for f in kept)
+    assert codes == ["set-order-dependence", "unused-suppression"]
+
+
+# -- baseline ----------------------------------------------------------------
+
+def _finding(msg="stale write", line=10):
+    return Finding("src/repro/net.py", line, 4, "yield-stale-write", msg)
+
+
+def test_fingerprint_is_line_free():
+    assert finding_fingerprint(_finding(line=10)) == \
+        finding_fingerprint(_finding(line=99))
+    assert finding_fingerprint(_finding("a")) != finding_fingerprint(_finding("b"))
+
+
+def test_baseline_roundtrip_and_match(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    f = _finding()
+    assert write_baseline([f], path, justification="known debt") == 1
+    baseline = load_baseline(path)
+    assert len(baseline) == 1
+    assert baseline.entries[0].justification == "known debt"
+    new, matched, expired = apply_baseline([f], baseline)
+    assert (len(new), len(matched), len(expired)) == (0, 1, 0)
+
+
+def test_new_finding_not_consumed_by_baseline(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline([_finding()], path)
+    baseline = load_baseline(path)
+    new, matched, expired = apply_baseline(
+        [_finding(), _finding("another bug")], baseline)
+    assert len(new) == 1 and new[0].message == "another bug"
+    assert len(matched) == 1 and len(expired) == 0
+
+
+def test_expired_entry_reported_when_finding_fixed(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline([_finding()], path)
+    baseline = load_baseline(path)
+    new, matched, expired = apply_baseline([], baseline)
+    assert new == [] and matched == []
+    assert len(expired) == 1
+
+
+def test_baseline_matching_is_multiset_aware():
+    f = _finding()
+    entry = BaselineEntry(rule="SIM101", path="src/repro/net.py",
+                          fingerprint=finding_fingerprint(f))
+    baseline = Baseline(entries=[entry])
+    # Two identical findings, one entry: the second stays new.
+    new, matched, _ = apply_baseline([f, f], baseline)
+    assert len(matched) == 1 and len(new) == 1
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    path = tmp_path / "not_a_baseline.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# -- file collection ---------------------------------------------------------
+
+def test_iter_python_files_sorted_and_deduplicated(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    for name in ("b.py", "a.py"):
+        (tmp_path / "pkg" / name).write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.pyc").write_text("")
+    (tmp_path / "pkg" / "notes.txt").write_text("")
+    direct = str(tmp_path / "pkg" / "a.py")
+    # The same file named directly, via its directory, and with a ./
+    # prefix must appear exactly once, and output must be sorted.
+    files = iter_python_files([str(tmp_path / "pkg"), direct,
+                               os.path.join(".", direct)])
+    assert files == sorted(files)
+    assert len(files) == 2
+    assert [os.path.basename(f) for f in files] == ["a.py", "b.py"]
+
+
+def test_iter_python_files_is_stable_across_argument_order(tmp_path):
+    for name in ("m1.py", "m2.py"):
+        (tmp_path / name).write_text("x = 1\n")
+    a = iter_python_files([str(tmp_path / "m2.py"), str(tmp_path / "m1.py")])
+    b = iter_python_files([str(tmp_path / "m1.py"), str(tmp_path / "m2.py")])
+    assert a == b
+
+
+# -- SARIF -------------------------------------------------------------------
+
+def test_sarif_document_shape():
+    findings = [Finding("src/repro/x.py", 7, 2, "set-order-dependence",
+                        "order leak")]
+    doc = to_sarif(findings, "repro-simcheck")
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-simcheck"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "SIM201" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "SIM201"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert loc["region"]["startLine"] == 7
+    assert loc["region"]["startColumn"] == 3  # 1-based
+
+
+def test_sarif_clamps_whole_file_findings_to_line_one():
+    findings = [Finding("x.py", 0, 0, "emitter-drift", "no emitter")]
+    doc = to_sarif(findings, "repro-lint")
+    region = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]
+    assert region["startLine"] == 1
+
+
+def test_sarif_empty_run_still_publishes_rule_catalog():
+    doc = json.loads(sarif_json([], "repro-simcheck"))
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert any(r["id"].startswith("SIM") for r in rules)
+    assert doc["runs"][0]["results"] == []
