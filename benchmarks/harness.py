@@ -348,6 +348,61 @@ def bench_events_per_sec(restart_mode: str = "file") -> Dict[str, Any]:
             "results": results, "throughput": throughput}
 
 
+def _cluster_run(n_nodes: int, n_jobs: int, shards: int
+                 ) -> Tuple[Dict[str, float], float]:
+    """One seeded cluster-scale run; deterministic counters + sim wall."""
+    from repro.cluster.scale import ClusterScale
+
+    cs = ClusterScale(n_nodes=n_nodes, n_jobs=n_jobs, shards=shards, seed=0)
+    t0 = time.perf_counter()
+    counters = cs.run()
+    wall = time.perf_counter() - t0
+    return {k: float(v) for k, v in counters.items()}, wall
+
+
+def bench_cluster_scale(restart_mode: str = "file") -> Dict[str, Any]:
+    """Cluster-scale family: 1000 nodes / 50 jobs on the sharded kernel.
+
+    Runs the failure-driven migration scenario twice — 8 shards (the
+    windowed kernel, with cross-shard spare borrowing and FTB bridging)
+    and 1 shard (the same model on one loop) — and pins every scenario
+    counter for both.  The two runs share RNG streams, so failure counts
+    agree; makespans differ only by the mailbox lookahead.  Wall time
+    goes under ``throughput`` (informational, never diffed).
+    """
+    del restart_mode
+    results: Dict[str, Any] = {}
+    throughput: Dict[str, Any] = {}
+    for shards in (8, 1):
+        key = f"shards{shards}"
+        counters, wall = _cluster_run(n_nodes=1000, n_jobs=50, shards=shards)
+        results[key] = counters
+        throughput[key] = {
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(counters["events_processed"]
+                                    / max(wall, 1e-9)),
+        }
+    return {"title": "Cluster scale — 1000 nodes / 50 jobs, sharded kernel",
+            "results": results, "throughput": throughput}
+
+
+def bench_cluster_smoke(restart_mode: str = "file") -> Dict[str, Any]:
+    """CI-sized cluster scenario: 256 nodes / 16 jobs on 4 shards.
+
+    The ``cluster-scale-smoke`` CI job runs exactly this family; it pins
+    the same counters as ``cluster_scale`` at a fraction of the work.
+    """
+    del restart_mode
+    counters, wall = _cluster_run(n_nodes=256, n_jobs=16, shards=4)
+    return {"title": "Cluster smoke — 256 nodes / 16 jobs, 4 shards",
+            "results": {"shards4": counters},
+            "throughput": {"shards4": {
+                "wall_seconds": round(wall, 4),
+                "events_per_sec": round(counters["events_processed"]
+                                        / max(wall, 1e-9)),
+            }}}
+
+
 BENCHES: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig4": bench_fig4,
     "fig6": bench_fig6,
@@ -355,6 +410,8 @@ BENCHES: Dict[str, Callable[..., Dict[str, Any]]] = {
     "table1": bench_table1,
     "pipeline": bench_pipeline,
     "events_per_sec": bench_events_per_sec,
+    "cluster_scale": bench_cluster_scale,
+    "cluster_smoke": bench_cluster_smoke,
 }
 
 

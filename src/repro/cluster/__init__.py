@@ -3,11 +3,15 @@
 from .health import FailureInjector, HealthEvent, HealthMonitor, Sensor, SensorSpec
 from .node import Cluster, Node, NodeState
 from .osproc import MemorySegment, OSProcess
+from .scale import ClusterScale, Rack, ScaleNode
 
 __all__ = [
     "Cluster",
+    "ClusterScale",
     "Node",
     "NodeState",
+    "Rack",
+    "ScaleNode",
     "OSProcess",
     "MemorySegment",
     "Sensor",

@@ -144,9 +144,12 @@ class HealthMonitor:
     def __init__(self, sim: Simulator, injector: FailureInjector,
                  nodes: List[Node], interval: float = 5.0,
                  window: int = 6, horizon: float = 120.0,
-                 on_alarm: Optional[Callable[[HealthEvent], None]] = None):
+                 on_alarm: Optional[Callable[[HealthEvent], None]] = None,
+                 until: Optional[float] = None):
         if window < 3:
             raise ValueError("window must be >= 3 samples")
+        if until is not None and until <= sim.now:
+            raise ValueError(f"until={until} is not in the future")
         self.sim = sim
         self.injector = injector
         self.nodes = nodes
@@ -154,13 +157,19 @@ class HealthMonitor:
         self.window = window
         self.horizon = horizon
         self.on_alarm = on_alarm
+        #: Optional polling horizon.  An unbounded monitor keeps one
+        #: timeout in the calendar forever, which deadlock-proofs nothing
+        #: and prevents drain-based runs (``sim.run()`` to completion —
+        #: how the sharded cluster-scale scenarios finish) from ever
+        #: terminating; give those a horizon and the monitor retires.
+        self.until = until
         self.events: List[HealthEvent] = []
         self._history: Dict[str, List[tuple]] = {n.name: [] for n in nodes}
         self._alarmed: set = set()
         self.proc = sim.spawn(self._run(), name="health-monitor")
 
     def _run(self) -> Generator:
-        while True:
+        while self.until is None or self.sim.now + self.interval <= self.until:
             yield self.sim.timeout(self.interval)
             now = self.sim.now
             for node in self.nodes:

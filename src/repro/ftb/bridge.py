@@ -1,0 +1,117 @@
+"""Cross-shard FTB relay: one backplane view over partitioned kernels.
+
+A sharded cluster (:mod:`repro.cluster.scale`) runs one FTB backplane
+tree *per shard* — agents flood over their own rack fabrics inside their
+own event loop, exactly as on the paper testbed.  But fault-tolerance
+events are global by nature: a spare-request raised in rack 3's tree must
+reach the job manager listening in rack 0's.  This module stitches the
+per-shard trees together through the kernel's sanctioned cross-shard
+channel, the :class:`~repro.simulate.shard.ShardMessage` mailbox.
+
+The bridge taps the root agent of every shard's backplane with a
+wildcard subscription.  An event first seen on its home shard is posted
+to every other shard (arriving one lookahead later — the conservative
+window makes this both safe and deterministic); on delivery the bridge
+reconstructs the event, *preserving its event id*, and submits it to the
+destination shard's root agent, from which the normal flood takes over.
+The preserved id does double duty: the per-agent ``_seen`` sets dedup it
+exactly as a locally flooded copy, and the bridge's own ``_relayed`` set
+stops the re-injected copy from echoing back out (each event crosses the
+mailbox at most once per destination shard).
+
+No component talks to a remote shard's agents directly — that would be
+the cross-shard mutation the SIM103 lint exists to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..simulate.shard import EventShard, ShardMessage, ShardedSimulator
+from .agent import FTBBackplane, Subscription
+from .events import FTBEvent
+
+__all__ = ["FTBShardBridge"]
+
+#: Mailbox topic the bridge owns; scenario mail uses its own topics.
+BRIDGE_TOPIC = "ftb"
+
+
+class FTBShardBridge:
+    """Relays FTB events between per-shard backplanes.
+
+    Parameters
+    ----------
+    kernel:
+        The owning :class:`ShardedSimulator` (must have ``shards > 1`` —
+        one backplane needs no bridge).
+    backplanes:
+        Mapping of shard id to that shard's :class:`FTBBackplane`.  Every
+        backplane's agents must run on the matching shard's event loop.
+    mask:
+        Namespace mask for what crosses shards; default everything.
+    """
+
+    def __init__(self, kernel: ShardedSimulator,
+                 backplanes: Dict[int, FTBBackplane], mask: str = "*"):
+        if kernel.n_shards < 2:
+            raise ValueError("a bridge needs shards > 1; one shard has "
+                             "one backplane and nothing to relay")
+        self.kernel = kernel
+        self.backplanes = dict(backplanes)
+        self.mask = mask
+        #: Event ids that already crossed the mailbox — tap-side echo guard.
+        self._relayed: Set[int] = set()
+        #: Events posted out of their home shard (once each, regardless of
+        #: destination count).
+        self.relayed_out = 0
+        #: Cross-shard deliveries per destination shard id.
+        self.delivered_in: Dict[int, int] = {
+            sid: 0 for sid in self.backplanes}
+        for sid in sorted(self.backplanes):
+            bp = self.backplanes[sid]
+            shard = kernel.shard(sid)
+            if bp.sim is not shard:
+                raise ValueError(
+                    f"backplane for shard {sid} runs on {bp.sim!r}, not "
+                    f"that shard's event loop")
+            shard.subscribe(self._mail_handler(sid, bp))
+            tap = Subscription(shard, mask, f"shard-bridge.{sid}",
+                               callback=self._tap(shard))
+            bp.root.subscriptions.append(tap)
+
+    # -- outbound: home-shard tap -------------------------------------------
+    def _tap(self, shard: EventShard):
+        def on_local_delivery(event: FTBEvent) -> None:
+            if event.event_id in self._relayed:
+                return  # a copy we injected ourselves; don't echo it back
+            self._relayed.add(event.event_id)
+            self.relayed_out += 1
+            payload = (event.name, event.source, event.payload,
+                       event.severity, event.event_id)
+            for dst in sorted(self.backplanes):
+                if dst != shard.shard_id:
+                    shard.post(dst, BRIDGE_TOPIC, payload)
+        return on_local_delivery
+
+    # -- inbound: mailbox delivery ------------------------------------------
+    def _mail_handler(self, sid: int, bp: FTBBackplane):
+        def on_mail(msg: ShardMessage) -> None:
+            if msg.topic != BRIDGE_TOPIC:
+                return
+            name, source, payload, severity, event_id = msg.data
+            # Preserve the id so agent-level dedup and the tap's echo
+            # guard both treat this as the same event, not a fresh one.
+            self._relayed.add(event_id)
+            event = FTBEvent(name=name, source=source, payload=payload,
+                             severity=severity, event_id=event_id)
+            bp.root.submit(event)
+            self.delivered_in[sid] += 1
+        return on_mail
+
+    def total_crossings(self) -> int:
+        return sum(self.delivered_in.values())
+
+    def __repr__(self) -> str:
+        return (f"<FTBShardBridge shards={sorted(self.backplanes)} "
+                f"out={self.relayed_out} in={self.total_crossings()}>")

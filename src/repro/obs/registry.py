@@ -72,9 +72,17 @@ def git_sha(cwd: Optional[str] = None) -> str:
 
 
 def new_run_id(command: str, cfg_hash: str) -> str:
-    """``<utc timestamp>-<command>-<hash8>`` — sortable and collision-safe."""
-    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
-    return f"{stamp}-{command}-{cfg_hash[:8]}"
+    """``<utc timestamp>-<command>-<hash8>`` — sortable and collision-safe.
+
+    The stamp carries microseconds: ``list_runs`` sorts directory names
+    and promises oldest-first, so back-to-back runs landing in the same
+    wall-clock second must still sort in creation order (a
+    second-resolution stamp would fall through to the command + config
+    hash and shuffle them).
+    """
+    now = time.time()
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+    return f"{stamp}{int(now % 1.0 * 1e6):06d}-{command}-{cfg_hash[:8]}"
 
 
 def resolve_runs_dir(explicit: Optional[str] = None) -> str:

@@ -15,6 +15,7 @@ from typing import Optional
 
 from .params import DEFAULT_TESTBED, MigrationParams, Testbed
 from .simulate.core import Simulator
+from .simulate.shard import ShardedSimulator
 from .cluster.node import Cluster
 from .ftb.agent import FTBBackplane
 from .launch.job_manager import JobManager
@@ -40,6 +41,9 @@ class Scenario:
     job: MPIJob
     framework: JobMigrationFramework
     trigger: MigrationTrigger
+    #: The owning sharded kernel; ``sim`` is its shard 0.  Always a
+    #: one-shard kernel for the paper testbed (see :meth:`build`).
+    kernel: Optional[ShardedSimulator] = None
 
     @classmethod
     def build(cls, app: str = "LU.C", nprocs: int = 64, n_compute: int = 8,
@@ -50,7 +54,8 @@ class Scenario:
               iterations: Optional[int] = None,
               testbed: Testbed = DEFAULT_TESTBED,
               start_app: bool = True, trace=None,
-              metrics=None, scheduler: Optional[str] = None) -> "Scenario":
+              metrics=None, scheduler: Optional[str] = None,
+              shards: int = 1) -> "Scenario":
         """Assemble the paper's testbed (8 compute + 1 spare by default).
 
         Pass a :class:`repro.simulate.Tracer` as ``trace`` to record phase
@@ -60,8 +65,26 @@ class Scenario:
         ``scheduler`` selects the kernel's event queue (``"heap"`` or
         ``"calendar"``); results are identical either way — the
         determinism suite and the events_per_sec bench both assert it.
+
+        ``shards`` must be 1 here: the paper testbed is one tightly
+        coupled partition (every rank shares the fluid fabric, the FTB
+        tree, and the migration barrier, so there is no cross-partition
+        link to derive a lookahead from).  The scenario still runs *on*
+        the sharded kernel — its simulator is shard 0 of a one-shard
+        :class:`repro.simulate.ShardedSimulator`, byte-identical to the
+        plain loop — so the surface matches the cluster-scale scenario
+        (:class:`repro.cluster.scale.ClusterScale`), which is where
+        ``shards > 1`` belongs.
         """
-        sim = Simulator(metrics=metrics, scheduler=scheduler)
+        if shards != 1:
+            raise ValueError(
+                f"shards={shards}: the paper testbed is a single tightly "
+                f"coupled partition and cannot be sharded — use "
+                f"repro.cluster.scale.ClusterScale (the cluster_scale "
+                f"bench family) for multi-shard runs")
+        kernel = ShardedSimulator(shards=1, metrics=metrics,
+                                  scheduler=scheduler)
+        sim = kernel.shard(0)
         cluster = Cluster(sim, n_compute=n_compute, n_spare=n_spare,
                           testbed=testbed, with_pvfs=with_pvfs,
                           record_data=record_data, seed=seed, trace=trace)
@@ -78,7 +101,7 @@ class Scenario:
         if start_app:
             job.start(application.rank_main)
         return cls(sim, cluster, backplane, jm, application, job,
-                   framework, trigger)
+                   framework, trigger, kernel)
 
     # -- convenience drivers --------------------------------------------------
     def run_migration(self, source: str, target: Optional[str] = None,

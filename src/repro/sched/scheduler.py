@@ -25,7 +25,27 @@ from ..simulate.core import Simulator
 from ..simulate.resources import Container, Store
 from .jobs import BatchJobSpec, JobRecord, JobState
 
-__all__ = ["BatchScheduler"]
+__all__ = ["BatchScheduler", "failure_gap"]
+
+
+def failure_gap(rng: np.random.Generator, node_mtbf: float, n_nodes: int,
+                shape: Optional[float] = None) -> float:
+    """Time until the next failure among ``n_nodes`` busy nodes.
+
+    ``shape is None`` draws exponential inter-failure gaps (Poisson
+    arrivals); a float draws Weibull with that shape at the same mean
+    budget (shape < 1 models the bursty failures of production logs).
+    Shared by :class:`BatchScheduler` and the sharded cluster-scale
+    scenario (:mod:`repro.cluster.scale`) so both studies age nodes from
+    the same failure model.
+    """
+    mean_gap = node_mtbf / n_nodes
+    if shape is None:
+        return float(rng.exponential(mean_gap))
+    from math import gamma
+
+    scale = mean_gap / gamma(1.0 + 1.0 / shape)
+    return float(scale * rng.weibull(shape))
 
 
 class BatchScheduler:
@@ -93,13 +113,8 @@ class BatchScheduler:
     # -- job execution -------------------------------------------------------------
     def _next_failure_gap(self, n_nodes: int) -> float:
         """Time until the next failure among n busy nodes."""
-        mean_gap = self.node_mtbf / n_nodes
-        if self.failure_shape is None:
-            return float(self.rng.exponential(mean_gap))
-        from math import gamma
-
-        scale = mean_gap / gamma(1.0 + 1.0 / self.failure_shape)
-        return float(scale * self.rng.weibull(self.failure_shape))
+        return failure_gap(self.rng, self.node_mtbf, n_nodes,
+                           self.failure_shape)
 
     def _run_job(self, record: JobRecord) -> Generator:
         spec = record.spec

@@ -27,6 +27,13 @@ from .metrics import (
 )
 from .resources import Container, PriorityStore, Resource, Store
 from .rng import RandomStreams
+from .shard import (
+    EventShard,
+    PartitionMap,
+    ShardedSimulator,
+    ShardMessage,
+    derive_lookahead,
+)
 from .telemetry import (
     NULL_PROBE,
     NullTelemetryProbe,
@@ -50,6 +57,11 @@ __all__ = [
     "Interrupt",
     "SimulationError",
     "StopSimulation",
+    "EventShard",
+    "ShardedSimulator",
+    "ShardMessage",
+    "PartitionMap",
+    "derive_lookahead",
     "Condition",
     "ConditionValue",
     "AnyOf",

@@ -452,6 +452,13 @@ class Simulator:
         identical either way.
     """
 
+    #: Which partition-local event loop this simulator is.  A plain
+    #: ``Simulator`` is always shard 0 — the whole single-loop world is one
+    #: partition — so every consumer of the shard-aware surface (telemetry
+    #: lanes, trace labels) works unchanged on unsharded runs.
+    #: :class:`repro.simulate.shard.EventShard` overrides it per partition.
+    shard_id: int = 0
+
     def __init__(self, start: float = 0.0, trace: Any = None,
                  metrics: Any = None, scheduler: Optional[str] = None):
         self._now = float(start)
@@ -625,6 +632,16 @@ class Simulator:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
         entry = self._peek_live()
         return entry[0] if entry is not None else float("inf")
+
+    def queue_depth(self) -> int:
+        """Entries currently in the calendar (cancelled stragglers included).
+
+        The telemetry probe samples through this accessor rather than
+        reaching into ``_queue`` so a :class:`repro.simulate.shard.
+        ShardedSimulator` can answer with the *sum* across its shards
+        behind the same surface.
+        """
+        return len(self._queue)
 
     def step(self) -> None:
         """Process exactly one event."""

@@ -1,0 +1,82 @@
+"""Cluster-scale scenario: racks, shards, spares, and the failure loop.
+
+The heavy determinism claims live in ``tests/test_determinism.py``;
+here the model itself is checked — jobs finish under failures, the
+spare-borrow ring crosses shards, counters stay internally consistent,
+and every record a sharded run emits validates against the schema.
+"""
+
+import pytest
+
+from repro.cluster import ClusterScale
+from repro.simulate import Tracer
+from repro.simulate.schema import layers_covered, validate_trace
+
+
+def test_shards_cannot_exceed_racks():
+    with pytest.raises(ValueError, match="exceeds the rack count"):
+        ClusterScale(n_nodes=64, n_jobs=2, shards=4, nodes_per_rack=32)
+    with pytest.raises(ValueError, match="at least one full rack"):
+        ClusterScale(n_nodes=16, n_jobs=1, nodes_per_rack=32)
+
+
+def test_single_shard_run_completes_all_jobs():
+    cs = ClusterScale(n_nodes=128, n_jobs=8, shards=1, seed=0)
+    res = cs.run()
+    assert res["jobs_completed"] == 8
+    assert res["failures"] > 0
+    assert res["checkpoints"] > 0
+    assert res["makespan"] > 0
+    # One shard: no conservative windows, no cross-shard mail.
+    assert res["windows"] == 0
+    assert res["mail_delivered"] == 0
+    assert "ftb_crossings" not in res  # no bridge on a single backplane
+
+
+def test_sharded_run_exercises_the_cross_shard_paths():
+    cs = ClusterScale(n_nodes=256, n_jobs=16, shards=4, seed=0)
+    res = cs.run()
+    assert res["jobs_completed"] == 16
+    assert res["windows"] > 0
+    assert res["mail_delivered"] > 0
+    # FTB alarms bridged between per-shard backplanes...
+    assert res["ftb_crossings"] > 0
+    assert res["ftb_alarms_at_jm"] == res["failures"] > 0
+    # ...and at least one spare granted across the ring, with its
+    # restart record landing in the granting shard.
+    assert res["remote_grants"] > 0
+    assert res["remote_restarts"] == res["migrations_remote"] > 0
+    # Both recovery styles occurred (a reactive failure that lands a
+    # spare counts a rollback *and* a migration, so the counters
+    # overlap rather than partitioning the failures).
+    assert 0 < res["rollbacks"] <= res["failures"]
+    assert res["migrations_local"] + res["migrations_remote"] > 0
+
+
+def test_run_is_once_only():
+    cs = ClusterScale(n_nodes=128, n_jobs=4, shards=1, seed=0)
+    cs.run()
+    with pytest.raises(RuntimeError, match="already"):
+        cs.run()
+
+
+def test_sharded_trace_validates_and_covers_new_layers():
+    tracer = Tracer()
+    cs = ClusterScale(n_nodes=128, n_jobs=8, shards=4, nodes_per_rack=16,
+                      seed=0, trace=tracer)
+    cs.run()
+    assert validate_trace(tracer.records) == []
+    covered = layers_covered(tracer.records)
+    assert {"kernel", "cluster", "ftb", "network"} <= covered
+
+
+def test_no_spares_still_completes_via_repair_wait():
+    # No provisioned spares: early failures must ride out the repair
+    # (or be denied by the ring); only repaired nodes ever re-enter the
+    # pool.  Jobs still finish.
+    cs = ClusterScale(n_nodes=128, n_jobs=4, shards=2, nodes_per_rack=32,
+                      spares_per_rack=0, seed=0, repair_time=120.0)
+    res = cs.run()
+    assert res["jobs_completed"] == 4
+    if res["failures"]:
+        assert res["spare_denials"] > 0

@@ -1,0 +1,104 @@
+"""FTB shard bridge: per-shard backplanes stitched over the mailbox.
+
+The invariants under test: an event published on one shard reaches
+subscribers on every other shard exactly once (the preserved event id
+feeds both the agent-level dedup and the bridge's echo guard), masks
+filter what crosses, and the bridge refuses mis-wired construction.
+"""
+
+import pytest
+
+from repro.ftb import FTBBackplane, FTBClient, FTBShardBridge
+from repro.network.ethernet import EthernetFabric
+from repro.simulate.shard import ShardedSimulator
+
+
+def _sharded_backplanes(shards=2, lookahead=0.001, mask="*"):
+    kernel = ShardedSimulator(shards=shards, lookahead=lookahead)
+    backplanes = {}
+    for sid in range(shards):
+        shard = kernel.shard(sid)
+        fabric = EthernetFabric(shard)
+        nodes = [f"s{sid}.n{i}" for i in range(3)]
+        backplanes[sid] = FTBBackplane(shard, fabric, nodes)
+    bridge = FTBShardBridge(kernel, backplanes, mask=mask)
+    return kernel, backplanes, bridge
+
+
+def _drive(kernel, horizon=1.0):
+    def keep(i):
+        yield kernel.timeout(horizon, shard=i)
+    for i in range(kernel.n_shards):
+        kernel.spawn(keep(i), shard=i)
+    kernel.run()
+
+
+def test_bridge_requires_multiple_shards():
+    kernel = ShardedSimulator()
+    fabric = EthernetFabric(kernel.shard(0))
+    bp = FTBBackplane(kernel.shard(0), fabric, ["n0"])
+    with pytest.raises(ValueError, match="needs shards > 1"):
+        FTBShardBridge(kernel, {0: bp})
+
+
+def test_bridge_rejects_backplane_on_wrong_shard():
+    kernel = ShardedSimulator(shards=2, lookahead=0.001)
+    fabric = EthernetFabric(kernel.shard(0))
+    bp0 = FTBBackplane(kernel.shard(0), fabric, ["n0"])
+    with pytest.raises(ValueError, match="not\n?.*that shard's event loop"):
+        FTBShardBridge(kernel, {0: bp0, 1: bp0})
+
+
+def test_event_crosses_once_and_does_not_echo():
+    kernel, backplanes, bridge = _sharded_backplanes()
+    got = []
+    listener = FTBClient(backplanes[1], "s1.n1", "listener")
+    listener.subscribe("FTB.HW.*", callback=lambda e: got.append(e))
+    home = []
+    local = FTBClient(backplanes[0], "s0.n2", "local")
+    local.subscribe("FTB.HW.*", callback=lambda e: home.append(e))
+
+    publisher = FTBClient(backplanes[0], "s0.n1", "publisher")
+    sent = publisher.publish_nowait("FTB.HW.IPMI.ALARM",
+                                    {"node": "s0.n1"}, severity="WARN")
+    _drive(kernel)
+
+    assert [e.event_id for e in got] == [sent.event_id]
+    assert [e.event_id for e in home] == [sent.event_id]
+    # One outbound relay, one inbound delivery, and no ping-pong: the
+    # re-injected copy flooding shard 1 must not cross back to shard 0.
+    assert bridge.relayed_out == 1
+    assert bridge.delivered_in == {0: 0, 1: 1}
+    assert bridge.total_crossings() == 1
+
+
+def test_bridge_relays_in_both_directions():
+    kernel, backplanes, bridge = _sharded_backplanes(shards=3)
+    got = {sid: [] for sid in backplanes}
+    for sid, bp in backplanes.items():
+        client = FTBClient(bp, f"s{sid}.n0", f"sub{sid}")
+        client.subscribe("*", callback=lambda e, s=sid: got[s].append(e))
+
+    FTBClient(backplanes[0], "s0.n1", "p0").publish_nowait("FTB.JOB.A")
+    FTBClient(backplanes[2], "s2.n1", "p2").publish_nowait("FTB.JOB.B")
+    _drive(kernel)
+
+    for sid in backplanes:
+        assert sorted(e.name for e in got[sid]) == ["FTB.JOB.A", "FTB.JOB.B"]
+    assert bridge.relayed_out == 2
+    assert bridge.total_crossings() == 4  # two events x two remote shards
+
+
+def test_mask_filters_what_crosses():
+    kernel, backplanes, bridge = _sharded_backplanes(mask="FTB.HW.*")
+    got = []
+    listener = FTBClient(backplanes[1], "s1.n0", "listener")
+    listener.subscribe("*", callback=lambda e: got.append(e))
+
+    pub = FTBClient(backplanes[0], "s0.n0", "pub")
+    pub.publish_nowait("FTB.SW.HEARTBEAT")
+    pub.publish_nowait("FTB.HW.IPMI.ALARM", severity="WARN")
+    _drive(kernel)
+
+    assert [e.name for e in got] == ["FTB.HW.IPMI.ALARM"]
+    assert bridge.relayed_out == 1
